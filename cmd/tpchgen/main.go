@@ -1,0 +1,61 @@
+// tpchgen generates the TPC-H substrate's tables and either summarizes them
+// or dumps one table as CSV.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor (1.0 = 6M lineitem rows)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	dump := flag.String("dump", "", "table to dump as CSV (empty = summary)")
+	flag.Parse()
+
+	cat, err := tpch.Generate(tpch.ScaleFactor(*sf), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *dump == "" {
+		fmt.Printf("%-10s %10s %14s\n", "table", "rows", "bytes")
+		var rows, bytes int64
+		for _, name := range cat.Names() {
+			t, _ := cat.Table(name)
+			fmt.Printf("%-10s %10d %14d\n", name, t.NumRows(), t.Bytes)
+			rows += int64(t.NumRows())
+			bytes += t.Bytes
+		}
+		fmt.Printf("%-10s %10d %14d\n", "total", rows, bytes)
+		return
+	}
+
+	t, err := cat.Table(*dump)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, c := range t.Schema.Cols {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprint(w, c.Name)
+	}
+	fmt.Fprintln(w)
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, v.String())
+		}
+		fmt.Fprintln(w)
+	}
+}

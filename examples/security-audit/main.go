@@ -1,0 +1,99 @@
+// security-audit: inspect what an adversary holding the encrypted server
+// image would see — the §8.7 analysis. For each table, count columns by
+// their weakest encryption scheme and spell out the leakage of each scheme
+// (Table 1 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	monomi "repro"
+)
+
+var leakage = map[string]string{
+	"RND":    "nothing (randomized AES-CTR)",
+	"HOM":    "nothing (Paillier ciphertexts)",
+	"SEARCH": "which rows match each queried keyword",
+	"DET":    "duplicates (equal plaintexts look equal)",
+	"OPE":    "order, and partial plaintext information",
+}
+
+func main() {
+	db, err := monomi.TPCH(0.002, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := monomi.Workload{}
+	for _, qn := range monomi.TPCHQueries() {
+		q, _ := monomi.TPCHQuery(qn)
+		workload[fmt.Sprintf("Q%02d", qn)] = q
+	}
+	opts := monomi.DefaultOptions()
+	opts.PaillierBits = 512
+	sys, err := monomi.Encrypt(db, workload, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rank: lower = stronger. A column's security is its weakest copy.
+	rank := map[string]int{"RND": 0, "HOM": 0, "SEARCH": 0, "DET": 1, "OPE": 2}
+	type colKey struct{ table, expr string }
+	weakest := map[colKey]string{}
+	precomp := map[colKey]bool{}
+	for _, c := range sys.Design() {
+		k := colKey{c.Table, c.Expr}
+		if cur, ok := weakest[k]; !ok || rank[c.Scheme] > rank[cur] {
+			weakest[k] = c.Scheme
+		}
+		if c.Precompute {
+			precomp[k] = true
+		}
+	}
+
+	perTable := map[string]map[string]int{}
+	opeColumns := []string{}
+	for k, scheme := range weakest {
+		bucket := "RND/HOM/SEARCH"
+		if scheme == "DET" {
+			bucket = "DET"
+		}
+		if scheme == "OPE" {
+			bucket = "OPE"
+			opeColumns = append(opeColumns, k.table+"."+k.expr)
+		}
+		m := perTable[k.table]
+		if m == nil {
+			m = map[string]int{}
+			perTable[k.table] = m
+		}
+		m[bucket]++
+	}
+
+	fmt.Println("Security census (Table 3): columns by weakest scheme")
+	fmt.Printf("%-10s %16s %6s %6s\n", "table", "RND/HOM/SEARCH", "DET", "OPE")
+	var tables []string
+	for t := range perTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		m := perTable[t]
+		fmt.Printf("%-10s %16d %6d %6d\n", t, m["RND/HOM/SEARCH"], m["DET"], m["OPE"])
+	}
+
+	fmt.Println("\nWhat each scheme reveals to a compromised server (Table 1):")
+	for _, s := range []string{"RND", "HOM", "SEARCH", "DET", "OPE"} {
+		fmt.Printf("  %-7s %s\n", s, leakage[s])
+	}
+
+	sort.Strings(opeColumns)
+	fmt.Println("\nOPE (the weakest scheme) is confined to:")
+	for _, c := range opeColumns {
+		fmt.Printf("  %s\n", c)
+	}
+	fmt.Println("\nNo plaintext is ever stored on the server; an administrator can veto")
+	fmt.Println("OPE on sensitive columns and the planner will fall back to client-side")
+	fmt.Println("filtering for those predicates (§3, §9).")
+}

@@ -1,0 +1,51 @@
+package client
+
+import (
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// decryptCache is the paper's client-side decryption cache: 512 entries
+// with a random eviction policy (§8.1). Repeating ciphertexts — DET group
+// keys, dictionary-like columns — decrypt once.
+type decryptCache struct {
+	capacity int
+	entries  map[string]value.Value
+	keys     []string
+	rng      *rand.Rand
+}
+
+func newDecryptCache(capacity int) *decryptCache {
+	return &decryptCache{
+		capacity: capacity,
+		entries:  make(map[string]value.Value, capacity),
+		rng:      rand.New(rand.NewSource(0x5eed)),
+	}
+}
+
+func (c *decryptCache) get(key string) (value.Value, bool) {
+	v, ok := c.entries[key]
+	return v, ok
+}
+
+func (c *decryptCache) put(key string, v value.Value) {
+	if c.capacity <= 0 {
+		return
+	}
+	if _, exists := c.entries[key]; exists {
+		c.entries[key] = v
+		return
+	}
+	if len(c.keys) >= c.capacity {
+		i := c.rng.Intn(len(c.keys))
+		delete(c.entries, c.keys[i])
+		c.keys[i] = key
+	} else {
+		c.keys = append(c.keys, key)
+	}
+	c.entries[key] = v
+}
+
+// Len reports the number of cached entries (for tests).
+func (c *decryptCache) Len() int { return len(c.entries) }

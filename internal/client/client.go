@@ -1,0 +1,482 @@
+// Package client implements MONOMI's trusted client library (the "MONOMI
+// library / client ODBC driver" of Figure 1): the only component holding
+// decryption keys. It plans each query with the runtime planner, sends
+// RemoteSQL to the untrusted server, decrypts the intermediate results
+// (with the paper's 512-entry decryption cache), executes the residual
+// local operators with the embedded engine, and returns plaintext rows as
+// if the application had queried an ordinary SQL database.
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/enc"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/packing"
+	"repro/internal/planner"
+	"repro/internal/server"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Client is a connection to one encrypted database.
+type Client struct {
+	Keys *enc.KeyStore
+	Srv  *server.Server
+	Ctx  *planner.Context
+	Cfg  netsim.Config
+	// Greedy disables the cost-based planner: every query uses the greedy
+	// plan that pushes all available computation to the server (the
+	// Execution-Greedy configuration of §8.3).
+	Greedy    bool
+	cache     *decryptCache
+	packCache packing.PlainCache
+}
+
+// New creates a client. ctx must be built over the plaintext schema with
+// the same design the server's database was encrypted under.
+func New(keys *enc.KeyStore, srv *server.Server, ctx *planner.Context, cfg netsim.Config) *Client {
+	return &Client{
+		Keys: keys, Srv: srv, Ctx: ctx, Cfg: cfg,
+		cache:     newDecryptCache(512),
+		packCache: make(packing.PlainCache),
+	}
+}
+
+// Result is a fully executed query result with its simulated timings.
+type Result struct {
+	Cols []string
+	Rows [][]value.Value
+
+	Plan         *planner.Plan
+	ServerTime   time.Duration // simulated server I/O + CPU (incl. UDFs)
+	TransferTime time.Duration // simulated 10 Mbit/s link
+	ClientTime   time.Duration // measured decrypt + local execution
+	WireBytes    int64
+	Decrypts     int64 // individual decryption operations performed
+}
+
+// Total is the end-to-end simulated latency.
+func (r *Result) Total() time.Duration { return r.ServerTime + r.TransferTime + r.ClientTime }
+
+// Query parses, plans, and executes a SQL query with parameters.
+func (c *Client) Query(sql string, params map[string]value.Value) (*Result, error) {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.Execute(q, params)
+}
+
+// Execute plans and runs a query AST.
+func (c *Client) Execute(q *ast.Query, params map[string]value.Value) (*Result, error) {
+	prepared, err := planner.Prepare(q, params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	// Multi-round execution: compute uncorrelated scalar subqueries first
+	// and substitute their values, so comparisons against them can use
+	// encrypted server-side filters (§8.2: plans may ship intermediate
+	// results between client and server several times).
+	if err := c.preExecuteScalarSubqueries(prepared, res); err != nil {
+		return nil, err
+	}
+	var plan *planner.Plan
+	if c.Greedy {
+		plan, err = c.Ctx.Generate(prepared)
+		if err == nil {
+			c.Ctx.CostPlan(plan)
+		}
+	} else {
+		plan, err = c.Ctx.BestPlan(prepared)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	cat := storage.NewCatalog()
+	if err := c.runPlan(plan, cat, res); err != nil {
+		return nil, err
+	}
+	return c.finishPlan(plan, cat, res)
+}
+
+// ExecutePlan runs an already-generated plan (used by the experiment
+// harness to execute a specific configuration's plan).
+func (c *Client) ExecutePlan(plan *planner.Plan) (*Result, error) {
+	res := &Result{Plan: plan}
+	cat := storage.NewCatalog()
+	if err := c.runPlan(plan, cat, res); err != nil {
+		return nil, err
+	}
+	return c.finishPlan(plan, cat, res)
+}
+
+// finishPlan executes the plan's final local query.
+func (c *Client) finishPlan(plan *planner.Plan, cat *storage.Catalog, res *Result) (*Result, error) {
+	if plan.Local == nil {
+		t, err := cat.Table(plan.Remote.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range t.Schema.Cols {
+			res.Cols = append(res.Cols, col.Name)
+		}
+		res.Rows = t.Rows
+		return res, nil
+	}
+	start := time.Now()
+	eng := engine.New(cat)
+	out, err := eng.Execute(plan.Local, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: local query: %w", err)
+	}
+	res.ClientTime += time.Since(start)
+	res.Cols = out.Cols
+	res.Rows = out.Rows
+	return res, nil
+}
+
+// runPlan executes subplans and the remote part, materializing temp tables.
+func (c *Client) runPlan(plan *planner.Plan, cat *storage.Catalog, res *Result) error {
+	for _, sp := range plan.Subplans {
+		if err := c.runPlan(sp.Plan, cat, res); err != nil {
+			return err
+		}
+		// A subplan with a local query materializes under its own name.
+		if sp.Plan.Local != nil {
+			sub := &Result{}
+			r, err := c.finishPlan(sp.Plan, cat, sub)
+			if err != nil {
+				return err
+			}
+			res.ClientTime += sub.ClientTime
+			tbl := storage.NewTable(resultSchema(sp.Name, r.Cols, r.Rows))
+			for _, row := range r.Rows {
+				tbl.MustInsert(row)
+			}
+			cat.Put(tbl)
+		} else if sp.Plan.Remote != nil && sp.Plan.Remote.Name != sp.Name {
+			// Rename the remote temp to the subplan's name.
+			t, err := cat.Table(sp.Plan.Remote.Name)
+			if err != nil {
+				return err
+			}
+			t.Schema.Name = sp.Name
+			cat.Drop(sp.Plan.Remote.Name)
+			cat.Put(t)
+		}
+	}
+	if plan.Remote == nil {
+		return nil
+	}
+	return c.runRemote(plan.Remote, cat, res)
+}
+
+// runRemote sends one RemoteSQL to the server and decrypts its output into
+// a temp table.
+func (c *Client) runRemote(part *planner.RemotePart, cat *storage.Catalog, res *Result) error {
+	q := c.resolveHomGroups(part.Query)
+	resp, err := c.Srv.Execute(q, nil)
+	if err != nil {
+		return fmt.Errorf("client: remote %s: %w", part.Name, err)
+	}
+	res.ServerTime += resp.ServerTime
+	res.TransferTime += c.Cfg.TransferTime(resp.WireBytes)
+	res.WireBytes += resp.WireBytes
+
+	if len(resp.Result.Cols) != len(part.Outputs) {
+		return fmt.Errorf("client: remote %s returned %d columns, plan expects %d",
+			part.Name, len(resp.Result.Cols), len(part.Outputs))
+	}
+
+	start := time.Now()
+	schema := storage.Schema{Name: part.Name}
+	for _, o := range part.Outputs {
+		schema.Cols = append(schema.Cols, storage.Column{Name: o.Name, Type: kindToColType(o.Kind)})
+	}
+	tbl := storage.NewTable(schema)
+	for _, row := range resp.Result.Rows {
+		out := make([]value.Value, len(part.Outputs))
+		for i := range part.Outputs {
+			v, err := c.decodeOutput(&part.Outputs[i], row[i], res)
+			if err != nil {
+				return fmt.Errorf("client: output %s: %w", part.Outputs[i].Name, err)
+			}
+			out[i] = v
+		}
+		tbl.MustInsert(out)
+	}
+	res.ClientTime += time.Since(start)
+	cat.Put(tbl)
+	return nil
+}
+
+// decodeOutput converts one server value into its plaintext form.
+func (c *Client) decodeOutput(o *planner.Output, v value.Value, res *Result) (value.Value, error) {
+	switch o.Mode {
+	case planner.OutPlain:
+		return v, nil
+	case planner.OutDecrypt:
+		return c.cachedDecrypt(o.Item, v, res)
+	case planner.OutConcatAgg:
+		if v.IsNull() {
+			return value.NewNull(), nil
+		}
+		vals, err := wire.DecodeAll(v.B)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return c.foldConcat(o, vals, res)
+	case planner.OutHomSum:
+		return c.decodeHomSum(o, v, res)
+	}
+	return value.Value{}, fmt.Errorf("unknown output mode %v", o.Mode)
+}
+
+// foldConcat decrypts each GROUP_CONCAT element and folds with o.Agg.
+func (c *Client) foldConcat(o *planner.Output, vals []value.Value, res *Result) (value.Value, error) {
+	var acc value.Value
+	count := 0
+	for _, cv := range vals {
+		if cv.IsNull() {
+			continue
+		}
+		pv, err := c.cachedDecrypt(o.Item, cv, res)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if count == 0 {
+			acc = pv
+		} else {
+			switch o.Agg {
+			case ast.AggSum:
+				acc = value.Add(acc, pv)
+			case ast.AggMin:
+				if value.Compare(pv, acc) < 0 {
+					acc = pv
+				}
+			case ast.AggMax:
+				if value.Compare(pv, acc) > 0 {
+					acc = pv
+				}
+			case ast.AggCount:
+				// handled by count below
+			}
+		}
+		count++
+	}
+	if o.Agg == ast.AggCount {
+		return value.NewInt(int64(count)), nil
+	}
+	if count == 0 {
+		// Conditional sums concat NULL for non-matching rows; if any rows
+		// arrived at all, SUM(CASE ... ELSE 0) is 0, not NULL.
+		if o.Agg == ast.AggSum && len(vals) > 0 {
+			return value.NewInt(0), nil
+		}
+		return value.NewNull(), nil
+	}
+	return acc, nil
+}
+
+// decodeHomSum finishes grouped homomorphic addition for one group.
+func (c *Client) decodeHomSum(o *planner.Output, v value.Value, res *Result) (value.Value, error) {
+	if v.IsNull() {
+		return value.NewNull(), nil
+	}
+	meta, ok := c.Srv.DB.Meta[o.HomTable]
+	if !ok {
+		return value.Value{}, fmt.Errorf("no encrypted table metadata for %s", o.HomTable)
+	}
+	group, slot := meta.FindGroupColumn(homItemColumnName(o))
+	if group == nil {
+		return value.Value{}, fmt.Errorf("no ciphertext group packs %s on %s", o.HomExpr, o.HomTable)
+	}
+	pk := c.Keys.Paillier()
+	sum, err := packing.DecodeSumResult(v.B, pk.CiphertextSize())
+	if err != nil {
+		return value.Value{}, err
+	}
+	if sum.Product == nil && len(sum.Partials) == 0 {
+		if sum.SawRows {
+			// Rows existed but none matched a conditional sum: 0.
+			return value.NewInt(0), nil
+		}
+		// SQL SUM over an empty relation is NULL.
+		return value.NewNull(), nil
+	}
+	sums, decrypts, err := packing.ClientSums(pk, group.Layout, sum, c.packCache)
+	if err != nil {
+		return value.Value{}, err
+	}
+	res.Decrypts += int64(decrypts)
+	return value.NewInt(sums[slot]), nil
+}
+
+// homItemColumnName renders the encrypted column name the group metadata
+// indexes HOM items by.
+func homItemColumnName(o *planner.Output) string { return o.HomExpr }
+
+// resolveHomGroups replaces @hom: placeholders in PAILLIER_SUM calls with
+// the actual ciphertext-group names from the encrypted DB's metadata.
+func (c *Client) resolveHomGroups(q *ast.Query) *ast.Query {
+	out := q.Clone()
+	var fix func(e ast.Expr) ast.Expr
+	fix = func(e ast.Expr) ast.Expr {
+		return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+			f, ok := x.(*ast.FuncCall)
+			if !ok || f.Name != "paillier_sum" || len(f.Args) != 2 {
+				return nil
+			}
+			lit, ok := f.Args[0].(*ast.Literal)
+			if !ok || lit.Val.K != value.Str {
+				return nil
+			}
+			table, exprSQL, ok := planner.ParseHomPlaceholder(lit.Val.S)
+			if !ok {
+				return nil
+			}
+			meta, ok := c.Srv.DB.Meta[table]
+			if !ok {
+				return nil
+			}
+			group, _ := meta.FindGroupColumn(exprSQL)
+			if group == nil {
+				return nil
+			}
+			return &ast.FuncCall{Name: "paillier_sum", Args: []ast.Expr{
+				&ast.Literal{Val: value.NewStr(group.Name)}, f.Args[1],
+			}}
+		})
+	}
+	for i := range out.Projections {
+		out.Projections[i].Expr = fix(out.Projections[i].Expr)
+	}
+	if out.Having != nil {
+		out.Having = fix(out.Having)
+	}
+	return out
+}
+
+// cachedDecrypt decrypts one value through the decryption cache (512
+// entries, random eviction, §8.1).
+func (c *Client) cachedDecrypt(it *enc.Item, v value.Value, res *Result) (value.Value, error) {
+	if v.IsNull() {
+		return value.NewNull(), nil
+	}
+	key := it.KeyLabel() + "\x00" + v.HashKey()
+	if pv, ok := c.cache.get(key); ok {
+		return pv, nil
+	}
+	pv, err := c.Keys.DecryptValue(it, v)
+	if err != nil {
+		return value.Value{}, err
+	}
+	res.Decrypts++
+	c.cache.put(key, pv)
+	return pv, nil
+}
+
+// preExecuteScalarSubqueries finds comparisons against uncorrelated scalar
+// subqueries in WHERE/HAVING and replaces each subquery with its computed
+// value (executed through the full split machinery).
+func (c *Client) preExecuteScalarSubqueries(q *ast.Query, res *Result) error {
+	replace := func(e ast.Expr) (ast.Expr, error) {
+		var firstErr error
+		out := ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+			if firstErr != nil {
+				return nil
+			}
+			b, ok := x.(*ast.BinaryExpr)
+			if !ok || !b.Op.IsComparison() {
+				return nil
+			}
+			rewriteSide := func(side ast.Expr) ast.Expr {
+				sq, ok := side.(*ast.SubqueryExpr)
+				if !ok || !c.isUncorrelated(sq.Sub) {
+					return side
+				}
+				sub, err := c.Execute(sq.Sub, nil)
+				if err != nil {
+					firstErr = err
+					return side
+				}
+				res.ServerTime += sub.ServerTime
+				res.TransferTime += sub.TransferTime
+				res.ClientTime += sub.ClientTime
+				res.WireBytes += sub.WireBytes
+				res.Decrypts += sub.Decrypts
+				if len(sub.Rows) == 0 {
+					return &ast.Literal{Val: value.NewNull()}
+				}
+				return &ast.Literal{Val: sub.Rows[0][0]}
+			}
+			l := rewriteSide(b.Left)
+			r := rewriteSide(b.Right)
+			if l != b.Left || r != b.Right {
+				return &ast.BinaryExpr{Op: b.Op, Left: l, Right: r}
+			}
+			return nil
+		})
+		return out, firstErr
+	}
+	var err error
+	if q.Where != nil {
+		q.Where, err = replace(q.Where)
+		if err != nil {
+			return err
+		}
+	}
+	if q.Having != nil {
+		q.Having, err = replace(q.Having)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isUncorrelated reports whether the subquery references only its own
+// tables.
+func (c *Client) isUncorrelated(sub *ast.Query) bool {
+	return planner.IsUncorrelated(c.Ctx, sub)
+}
+
+// resultSchema derives a temp-table schema from a local result.
+func resultSchema(name string, cols []string, rows [][]value.Value) storage.Schema {
+	s := storage.Schema{Name: name}
+	for i, cname := range cols {
+		t := storage.TInt
+		for _, row := range rows {
+			if !row[i].IsNull() {
+				t = kindToColType(row[i].K)
+				break
+			}
+		}
+		s.Cols = append(s.Cols, storage.Column{Name: cname, Type: t})
+	}
+	return s
+}
+
+func kindToColType(k value.Kind) storage.ColType {
+	switch k {
+	case value.Int, value.Bool:
+		return storage.TInt
+	case value.Float:
+		return storage.TFloat
+	case value.Str:
+		return storage.TStr
+	case value.Date:
+		return storage.TDate
+	case value.Bytes:
+		return storage.TBytes
+	}
+	return storage.TInt
+}

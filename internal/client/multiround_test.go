@@ -1,0 +1,64 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+// Multi-round execution tests: uncorrelated scalar subqueries execute as
+// their own split plans first, and the outer query re-plans against the
+// computed constant (§8.2's "intermediate results several times").
+
+func TestMultiRoundSubstitutionEnablesPushdown(t *testing.T) {
+	f := newFixture(t)
+	// The scalar subquery's value becomes an OPE-encrypted constant for
+	// the outer filter — without multi-round execution the comparison
+	// would ship every row to the client.
+	res := f.checkQuery(t, `SELECT o_id FROM orders
+		WHERE o_total > (SELECT SUM(o_total) / 8 FROM orders) ORDER BY o_id`, nil)
+	if !strings.Contains(res.Plan.Remote.Query.SQL(), "o_total_ope") {
+		t.Errorf("outer filter should push via OPE after substitution:\n%s", res.Plan.Describe())
+	}
+}
+
+func TestMultiRoundTimingAccumulates(t *testing.T) {
+	f := newFixture(t)
+	res, err := f.client.Query(`SELECT o_id FROM orders
+		WHERE o_total > (SELECT SUM(o_total) / 8 FROM orders)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two server round trips: the subquery's and the outer query's.
+	if res.ServerTime <= 0 || res.WireBytes <= 0 {
+		t.Error("multi-round timings must accumulate across rounds")
+	}
+}
+
+func TestCorrelatedScalarSubqueryStaysLocal(t *testing.T) {
+	f := newFixture(t)
+	// Correlated subqueries cannot pre-execute; they localize with a
+	// sub-fetch and the engine decorrelates at the client.
+	res := f.checkQuery(t, `SELECT o_id FROM orders
+		WHERE o_total > (SELECT SUM(i_price * i_qty) / 2 FROM items WHERE i_order = o_id)
+		ORDER BY o_id`, nil)
+	if len(res.Plan.Subplans) == 0 {
+		t.Errorf("correlated subquery needs a sub-fetch subplan:\n%s", res.Plan.Describe())
+	}
+}
+
+func TestAggregatedInSubqueryGetsOwnSplitPlan(t *testing.T) {
+	f := newFixture(t)
+	// Q18 shape: the uncorrelated aggregated IN-subquery should be planned
+	// as an independent query (its own RemoteSQL), not a raw fetch.
+	res := f.checkQuery(t, `SELECT o_id FROM orders WHERE o_id IN (
+		SELECT i_order FROM items GROUP BY i_order HAVING SUM(i_qty) > 4) ORDER BY o_id`, nil)
+	found := false
+	for _, sp := range res.Plan.Subplans {
+		if sp.Plan.Remote != nil && strings.Contains(sp.Plan.Remote.Query.SQL(), "GROUP BY") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("IN-subquery should group on the server:\n%s", res.Plan.Describe())
+	}
+}

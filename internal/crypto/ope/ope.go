@@ -1,0 +1,133 @@
+// Package ope implements order-preserving encryption: x < y implies
+// Enc(x) < Enc(y) bytewise, which lets the untrusted server evaluate range
+// predicates, ORDER BY, and MIN/MAX over ciphertexts. Per Table 1 of the
+// paper this is MONOMI's weakest scheme — it reveals order and (like the
+// Boldyreva scheme the paper uses) partial plaintext information.
+//
+// The construction is the keyed lazy-sampled random monotone function:
+// encryption walks the plaintext's bits from most significant to least,
+// splitting the ciphertext interval at a pseudorandom point each step. The
+// split point is a PRF of the bit path, so the mapping is deterministic for
+// a fixed key, and it is confined to the middle half of the interval so the
+// interval provably never collapses: each side keeps ≥ gap/4, and with a
+// 126-bit ciphertext space and 48 plaintext bits the final gap is ≥ 2^30.
+//
+// Domain: signed plaintexts in [-2^47, 2^47) map to 16-byte big-endian
+// ciphertexts whose lexicographic byte order equals the plaintext order.
+package ope
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/crypto/prf"
+)
+
+// PlainBits is the supported plaintext domain width in bits.
+const PlainBits = 48
+
+// CipherBits is the ciphertext range width in bits.
+const CipherBits = 126
+
+// CiphertextSize is the OPE ciphertext size in bytes.
+const CiphertextSize = 16
+
+// bias converts signed plaintexts into the unsigned domain.
+const bias = int64(1) << (PlainBits - 1)
+
+// Scheme is an OPE key for one column.
+type Scheme struct {
+	f *prf.PRF
+}
+
+// New creates an OPE scheme from a 16-byte key.
+func New(key []byte) (*Scheme, error) {
+	f, err := prf.New(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{f: f}, nil
+}
+
+// MustNew is New for keys known to be valid.
+func MustNew(key []byte) *Scheme {
+	s, err := New(key)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// split computes the pseudorandom split point of [lo, hi] for the given bit
+// path: lo + gap/4 + (PRF(path) mod gap/2), i.e. within the middle half.
+func (s *Scheme) split(lo, hi *big.Int, depth int, path uint64) *big.Int {
+	gap := new(big.Int).Sub(hi, lo)
+	quarter := new(big.Int).Rsh(gap, 2)
+	half := new(big.Int).Rsh(gap, 1)
+	r := s.f.Eval64(uint32(depth), path)
+	off := new(big.Int).Mod(new(big.Int).SetUint64(r), half)
+	sp := new(big.Int).Add(lo, quarter)
+	sp.Add(sp, off)
+	return sp
+}
+
+// Encrypt maps a signed plaintext to its order-preserving ciphertext,
+// a CiphertextSize-byte big-endian value.
+func (s *Scheme) Encrypt(x int64) ([]byte, error) {
+	u := x + bias
+	if u < 0 || u >= int64(1)<<PlainBits {
+		return nil, fmt.Errorf("ope: plaintext %d outside ±2^%d domain", x, PlainBits-1)
+	}
+	lo := big.NewInt(0)
+	hi := new(big.Int).Lsh(big.NewInt(1), CipherBits)
+	path := uint64(1) // bit path with a leading sentinel 1
+	one := big.NewInt(1)
+	for i := PlainBits - 1; i >= 0; i-- {
+		sp := s.split(lo, hi, i, path)
+		bit := (uint64(u) >> uint(i)) & 1
+		if bit == 0 {
+			hi = sp
+		} else {
+			lo = new(big.Int).Add(sp, one)
+		}
+		path = path<<1 | bit
+	}
+	out := make([]byte, CiphertextSize)
+	lo.FillBytes(out)
+	return out, nil
+}
+
+// MustEncrypt is Encrypt for values known to be in-domain.
+func (s *Scheme) MustEncrypt(x int64) []byte {
+	c, err := s.Encrypt(x)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Decrypt inverts Encrypt by replaying the binary search on the ciphertext.
+func (s *Scheme) Decrypt(ct []byte) (int64, error) {
+	if len(ct) != CiphertextSize {
+		return 0, fmt.Errorf("ope: ciphertext must be %d bytes, got %d", CiphertextSize, len(ct))
+	}
+	c := new(big.Int).SetBytes(ct)
+	lo := big.NewInt(0)
+	hi := new(big.Int).Lsh(big.NewInt(1), CipherBits)
+	path := uint64(1)
+	one := big.NewInt(1)
+	var u uint64
+	for i := PlainBits - 1; i >= 0; i-- {
+		sp := s.split(lo, hi, i, path)
+		var bit uint64
+		if c.Cmp(sp) > 0 {
+			bit = 1
+			lo = new(big.Int).Add(sp, one)
+		} else {
+			hi = sp
+		}
+		u |= bit << uint(i)
+		path = path<<1 | bit
+	}
+	return int64(u) - bias, nil
+}

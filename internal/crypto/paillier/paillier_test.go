@@ -1,0 +1,163 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// testBits keeps keygen fast in tests; production uses 1024.
+const testBits = 256
+
+func testKey(t testing.TB) *Key {
+	t.Helper()
+	k, err := GenerateKey(testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := testKey(t)
+	for _, m := range []int64{0, 1, 2, 12345, 1 << 40} {
+		c, err := k.EncryptInt64(m)
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := k.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d -> %v", m, got)
+		}
+	}
+}
+
+func TestHomomorphicAdditionProperty(t *testing.T) {
+	k := testKey(t)
+	f := func(a, b uint32) bool {
+		ca, err1 := k.EncryptInt64(int64(a))
+		cb, err2 := k.EncryptInt64(int64(b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum, err := k.Decrypt(k.AddCipher(ca, cb))
+		if err != nil {
+			return false
+		}
+		return sum.Int64() == int64(a)+int64(b)
+	}
+	cfg := &quick.Config{MaxCount: 20} // bignum ops are not free
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCiphertextsRandomized(t *testing.T) {
+	k := testKey(t)
+	c1, _ := k.EncryptInt64(7)
+	c2, _ := k.EncryptInt64(7)
+	if c1.Cmp(c2) == 0 {
+		t.Error("Paillier is probabilistic: equal plaintexts must give different ciphertexts")
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	k := testKey(t)
+	c, _ := k.EncryptInt64(21)
+	got, err := k.Decrypt(k.MulConst(c, big.NewInt(3)))
+	if err != nil || got.Int64() != 63 {
+		t.Errorf("3*21 = %v (%v)", got, err)
+	}
+}
+
+func TestEncryptZeroIsIdentity(t *testing.T) {
+	k := testKey(t)
+	z, err := k.EncryptZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := k.EncryptInt64(99)
+	got, _ := k.Decrypt(k.AddCipher(c, z))
+	if got.Int64() != 99 {
+		t.Errorf("x + 0 = %v", got)
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	k := testKey(t)
+	if _, err := k.Encrypt(new(big.Int).Neg(big.NewInt(1))); err == nil {
+		t.Error("negative plaintext should fail")
+	}
+	if _, err := k.Encrypt(k.N); err == nil {
+		t.Error("plaintext >= N should fail")
+	}
+	if _, err := k.EncryptInt64(-5); err == nil {
+		t.Error("negative int should fail")
+	}
+	if _, err := k.Decrypt(big.NewInt(0)); err == nil {
+		t.Error("zero ciphertext should fail")
+	}
+	if _, err := GenerateKey(32); err == nil {
+		t.Error("tiny modulus should fail")
+	}
+}
+
+func TestCiphertextSerialization(t *testing.T) {
+	k := testKey(t)
+	c, _ := k.EncryptInt64(424242)
+	b := k.CiphertextBytes(c)
+	if len(b) != k.CiphertextSize() {
+		t.Errorf("serialized size = %d, want %d", len(b), k.CiphertextSize())
+	}
+	got, err := k.Decrypt(k.CiphertextFromBytes(b))
+	if err != nil || got.Int64() != 424242 {
+		t.Errorf("round trip through bytes = %v (%v)", got, err)
+	}
+}
+
+func TestPlaintextBits(t *testing.T) {
+	k := testKey(t)
+	bits := k.PlaintextBits()
+	if bits < testBits-2 || bits >= testBits {
+		t.Errorf("plaintext bits = %d for %d-bit modulus", bits, testBits)
+	}
+	// A plaintext that fills the usable width must round trip.
+	m := new(big.Int).Lsh(big.NewInt(1), uint(bits-1))
+	c, err := k.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := k.Decrypt(c)
+	if got.Cmp(m) != 0 {
+		t.Error("wide plaintext round trip failed")
+	}
+}
+
+func BenchmarkEncrypt1024(b *testing.B) {
+	k, err := GenerateKey(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.EncryptInt64(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddCipher1024(b *testing.B) {
+	k, err := GenerateKey(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c1, _ := k.EncryptInt64(1)
+	c2, _ := k.EncryptInt64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c1 = k.AddCipher(c1, c2)
+	}
+}

@@ -1,0 +1,59 @@
+// Package rnd implements randomized (probabilistic) encryption — the paper's
+// strongest scheme ("Randomized AES + CBC" in Table 1). Ciphertexts of equal
+// plaintexts are unlinkable; the server can perform no computation on them.
+//
+// The construction is AES-CTR with a fresh random IV prepended to the
+// ciphertext, which matches AES-CBC's security for this purpose while
+// avoiding padding (the IV is the only expansion: 16 bytes per value).
+package rnd
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// Scheme is a randomized encryption key.
+type Scheme struct {
+	block cipher.Block
+	// randSource is swappable for deterministic tests.
+	randSource io.Reader
+}
+
+// ivSize is the per-ciphertext expansion in bytes.
+const ivSize = 16
+
+// New creates a randomized scheme from a 16-byte key.
+func New(key []byte) (*Scheme, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{block: b, randSource: rand.Reader}, nil
+}
+
+// Encrypt encrypts pt under a fresh IV. Output layout: IV || CT.
+func (s *Scheme) Encrypt(pt []byte) ([]byte, error) {
+	out := make([]byte, ivSize+len(pt))
+	if _, err := io.ReadFull(s.randSource, out[:ivSize]); err != nil {
+		return nil, fmt.Errorf("rnd: iv: %w", err)
+	}
+	cipher.NewCTR(s.block, out[:ivSize]).XORKeyStream(out[ivSize:], pt)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt.
+func (s *Scheme) Decrypt(ct []byte) ([]byte, error) {
+	if len(ct) < ivSize {
+		return nil, fmt.Errorf("rnd: ciphertext too short (%d bytes)", len(ct))
+	}
+	pt := make([]byte, len(ct)-ivSize)
+	cipher.NewCTR(s.block, ct[:ivSize]).XORKeyStream(pt, ct[ivSize:])
+	return pt, nil
+}
+
+// CiphertextSize returns the ciphertext length for a plaintext length,
+// used by the designer's space model.
+func CiphertextSize(ptLen int) int { return ivSize + ptLen }

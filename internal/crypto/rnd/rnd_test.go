@@ -1,0 +1,66 @@
+package rnd
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto/prf"
+)
+
+func scheme(t *testing.T) *Scheme {
+	t.Helper()
+	s, err := New(prf.DeriveKey([]byte("k"), "rnd/test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := scheme(t)
+	f := func(pt []byte) bool {
+		ct, err := s.Encrypt(pt)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decrypt(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbabilistic(t *testing.T) {
+	s := scheme(t)
+	c1, _ := s.Encrypt([]byte("secret"))
+	c2, _ := s.Encrypt([]byte("secret"))
+	if bytes.Equal(c1, c2) {
+		t.Error("RND must produce distinct ciphertexts for equal plaintexts")
+	}
+}
+
+func TestExpansionIsIVOnly(t *testing.T) {
+	s := scheme(t)
+	ct, _ := s.Encrypt(make([]byte, 100))
+	if len(ct) != CiphertextSize(100) || len(ct) != 116 {
+		t.Errorf("ciphertext size = %d", len(ct))
+	}
+}
+
+func TestDecryptErrors(t *testing.T) {
+	s := scheme(t)
+	if _, err := s.Decrypt([]byte{1, 2, 3}); err == nil {
+		t.Error("short ciphertext should fail")
+	}
+}
+
+func TestBadKey(t *testing.T) {
+	if _, err := New([]byte("nope")); err == nil {
+		t.Error("bad key size should fail")
+	}
+}

@@ -1,0 +1,146 @@
+// Package search implements word-level searchable encryption in the style
+// of Song–Wagner–Perrig (SWP), the SEARCH scheme of Table 1. It lets the
+// untrusted server evaluate `col LIKE '%word%'` without learning the word
+// or the text: the column stores a blob of per-word trapdoor MACs and the
+// client hands the server the trapdoor of the searched word.
+//
+// Leakage: the server learns which rows match a given search token (as the
+// paper notes in §3), and the number of distinct words per value, but
+// nothing about unqueried words.
+package search
+
+import (
+	"bytes"
+	"strings"
+
+	"repro/internal/crypto/prf"
+)
+
+// TokenSize is the per-word token size in bytes. 8 bytes keeps the blobs
+// compact; collisions across ~10⁵ distinct words are negligible and only
+// cause spurious matches that the client-side exact filter removes.
+const TokenSize = 8
+
+// Scheme is a searchable-encryption key for one column.
+type Scheme struct {
+	f *prf.PRF
+}
+
+// New creates a SEARCH scheme from a 16-byte key.
+func New(key []byte) (*Scheme, error) {
+	f, err := prf.New(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{f: f}, nil
+}
+
+// MustNew is New for keys known to be valid.
+func MustNew(key []byte) *Scheme {
+	s, err := New(key)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Trapdoor computes the search token for one lowercase word.
+func (s *Scheme) Trapdoor(word string) []byte {
+	h := s.f.EvalBytes(0x77, []byte(strings.ToLower(word)))
+	out := make([]byte, TokenSize)
+	copy(out, h[:TokenSize])
+	return out
+}
+
+// EncryptText produces the searchable blob for a text value: the sorted,
+// deduplicated concatenation of per-word trapdoors. Sorting removes word-
+// order leakage.
+func (s *Scheme) EncryptText(text string) []byte {
+	words := Tokenize(text)
+	seen := make(map[string]bool, len(words))
+	toks := make([][]byte, 0, len(words))
+	for _, w := range words {
+		t := s.Trapdoor(w)
+		k := string(t)
+		if !seen[k] {
+			seen[k] = true
+			toks = append(toks, t)
+		}
+	}
+	sortTokens(toks)
+	out := make([]byte, 0, len(toks)*TokenSize)
+	for _, t := range toks {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// Match reports whether the blob contains the trapdoor token. This is the
+// computation the server-side SEARCH_MATCH UDF performs.
+func Match(blob, token []byte) bool {
+	if len(token) != TokenSize {
+		return false
+	}
+	for i := 0; i+TokenSize <= len(blob); i += TokenSize {
+		if bytes.Equal(blob[i:i+TokenSize], token) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tokenize splits a text into lowercase alphanumeric words.
+func Tokenize(text string) []string {
+	var words []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			words = append(words, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return words
+}
+
+// PatternWord extracts the single word of a '%word%' LIKE pattern, or
+// returns false if the pattern is not of that exact shape. Prefix/suffix
+// patterns ('word%') are rejected: a word-level trapdoor matches the word
+// anywhere in the text, which over-approximates anchored patterns, so those
+// run on the client instead. (Multi-pattern LIKE is unsupported, as in the
+// paper's prototype.)
+func PatternWord(pattern string) (string, bool) {
+	if len(pattern) < 3 || pattern[0] != '%' || pattern[len(pattern)-1] != '%' {
+		return "", false
+	}
+	trimmed := strings.TrimPrefix(pattern, "%")
+	trimmed = strings.TrimSuffix(trimmed, "%")
+	if trimmed == "" {
+		return "", false
+	}
+	words := Tokenize(trimmed)
+	if len(words) != 1 || len(words[0]) != len(trimmed) {
+		return "", false
+	}
+	return words[0], true
+}
+
+func sortTokens(toks [][]byte) {
+	// insertion sort: blobs are tiny (a handful of words per value)
+	for i := 1; i < len(toks); i++ {
+		for j := i; j > 0 && bytes.Compare(toks[j-1], toks[j]) > 0; j-- {
+			toks[j-1], toks[j] = toks[j], toks[j-1]
+		}
+	}
+}
+
+// BlobSize returns the searchable-blob size for a word count, used by the
+// designer's space model.
+func BlobSize(distinctWords int) int { return distinctWords * TokenSize }

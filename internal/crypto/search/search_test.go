@@ -1,0 +1,108 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto/prf"
+)
+
+func scheme() *Scheme { return MustNew(prf.DeriveKey([]byte("k"), "search/test")) }
+
+func TestMatchPresentWord(t *testing.T) {
+	s := scheme()
+	blob := s.EncryptText("the quick BROWN fox jumps")
+	for _, w := range []string{"quick", "brown", "fox", "QUICK"} {
+		if !Match(blob, s.Trapdoor(w)) {
+			t.Errorf("word %q should match", w)
+		}
+	}
+	for _, w := range []string{"slow", "foxes", "quic"} {
+		if Match(blob, s.Trapdoor(w)) {
+			t.Errorf("word %q should not match", w)
+		}
+	}
+}
+
+func TestBlobDeduplicatesAndSorts(t *testing.T) {
+	s := scheme()
+	a := s.EncryptText("red red red widget")
+	b := s.EncryptText("widget red")
+	if !bytes.Equal(a, b) {
+		t.Error("same word set should give same blob regardless of order/repeats")
+	}
+	if len(a) != 2*TokenSize {
+		t.Errorf("blob size = %d, want %d", len(a), 2*TokenSize)
+	}
+}
+
+func TestDifferentKeysUnlinkable(t *testing.T) {
+	s1 := scheme()
+	s2 := MustNew(prf.DeriveKey([]byte("k"), "search/other"))
+	if bytes.Equal(s1.Trapdoor("word"), s2.Trapdoor("word")) {
+		t.Error("trapdoors under different keys must differ")
+	}
+	if Match(s1.EncryptText("word"), s2.Trapdoor("word")) {
+		t.Error("cross-key match should fail")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! 42nd st.")
+	want := []string{"hello", "world", "42nd", "st"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Tokenize("")) != 0 {
+		t.Error("empty text has no tokens")
+	}
+}
+
+func TestPatternWord(t *testing.T) {
+	cases := []struct {
+		pat  string
+		word string
+		ok   bool
+	}{
+		{"%green%", "green", true},
+		{"%special requests%", "", false}, // two words is fine actually? no: space is allowed
+		{"%foo%bar%", "", false},
+		{"%", "", false},
+		{"%a_c%", "", false},
+		{"plain", "", false},   // unanchored: not a word search
+		{"prefix%", "", false}, // anchored prefix over-matches as a token
+		{"%suffix", "", false},
+	}
+	for _, c := range cases {
+		w, ok := PatternWord(c.pat)
+		if ok != c.ok {
+			t.Errorf("PatternWord(%q) ok = %v, want %v", c.pat, ok, c.ok)
+			continue
+		}
+		if ok && c.word != "" && w != c.word {
+			t.Errorf("PatternWord(%q) = %q, want %q", c.pat, w, c.word)
+		}
+	}
+}
+
+func TestMatchRejectsBadToken(t *testing.T) {
+	s := scheme()
+	blob := s.EncryptText("hello")
+	if Match(blob, []byte{1, 2, 3}) {
+		t.Error("wrong-size token must not match")
+	}
+	if Match(nil, s.Trapdoor("hello")) {
+		t.Error("empty blob must not match")
+	}
+}
+
+func TestBlobSize(t *testing.T) {
+	if BlobSize(5) != 5*TokenSize {
+		t.Error("blob size arithmetic")
+	}
+}

@@ -1,0 +1,215 @@
+package designer
+
+import (
+	"testing"
+
+	"repro/internal/enc"
+	"repro/internal/netsim"
+	"repro/internal/planner"
+	"repro/internal/tpch"
+)
+
+func setup(t testing.TB) (*Workload, *enc.KeyStore, *planner.CostModel, *tpchCat) {
+	t.Helper()
+	cat, err := tpch.Generate(0.001, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := enc.NewKeyStore([]byte("designer-test"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := planner.DefaultCostModel(netsim.Default())
+	labeled := map[string]string{
+		"Q01": tpch.Queries[1],
+		"Q03": tpch.Queries[3],
+		"Q06": tpch.Queries[6],
+		"Q18": tpch.Queries[18],
+	}
+	w, err := ParseWorkload(labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ks, cost, &tpchCat{cat}
+}
+
+type tpchCat struct{ cat catalog }
+
+type catalog = interface {
+	Names() []string
+	TotalBytes() int64
+}
+
+func TestUnconstrainedDesign(t *testing.T) {
+	w, ks, cost, _ := setup(t)
+	cat, _ := tpch.Generate(0.001, 5)
+	res, err := Run(cat, w, ks, cost, MonomiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Design.Items) == 0 {
+		t.Fatal("empty design")
+	}
+	schemes := map[enc.Scheme]int{}
+	precomp := 0
+	for _, it := range res.Design.Items {
+		schemes[it.Scheme]++
+		if it.IsPrecomputed() {
+			precomp++
+		}
+	}
+	if schemes[enc.DET] == 0 || schemes[enc.OPE] == 0 {
+		t.Errorf("schemes = %v", schemes)
+	}
+	if precomp == 0 {
+		t.Error("Q1's aggregates need precomputed expressions")
+	}
+	if len(res.PerQuery) != 4 {
+		t.Errorf("per-query = %d", len(res.PerQuery))
+	}
+	if res.Vars == 0 || res.Constraints == 0 {
+		t.Error("ILP accounting missing")
+	}
+	// Join groups must make o_orderkey/l_orderkey compatible.
+	o, ok1 := res.Design.Find("orders", "o_orderkey", enc.DET)
+	l, ok2 := res.Design.Find("lineitem", "l_orderkey", enc.DET)
+	if !ok1 || !ok2 || o.KeyLabel() != l.KeyLabel() {
+		t.Error("orderkey join group not shared")
+	}
+}
+
+func TestSpaceBudgetShrinksDesign(t *testing.T) {
+	w, ks, cost, _ := setup(t)
+	catA, _ := tpch.Generate(0.001, 5)
+	optsBig := MonomiOptions()
+	optsBig.SpaceBudget = 2.0
+	big, err := Run(catA, w, ks, cost, optsBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catB, _ := tpch.Generate(0.001, 5)
+	optsSmall := MonomiOptions()
+	optsSmall.SpaceBudget = 1.05
+	small, err := Run(catB, w, ks, cost, optsSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.EstBytes > big.EstBytes {
+		t.Errorf("tighter budget produced a larger design: %v > %v", small.EstBytes, big.EstBytes)
+	}
+	if small.EstBytes > 1.10*small.PlainBytes {
+		t.Errorf("S=1.05 design estimated at %.2fx plaintext", small.EstBytes/small.PlainBytes)
+	}
+	// Cost can only get worse as the budget tightens.
+	var costBig, costSmall float64
+	for i := range big.PerQuery {
+		costBig += big.PerQuery[i].EstCost
+		costSmall += small.PerQuery[i].EstCost
+	}
+	if costSmall+1e-9 < costBig {
+		t.Errorf("tighter budget should not be cheaper: %v < %v", costSmall, costBig)
+	}
+}
+
+func TestILPBeatsSpaceGreedy(t *testing.T) {
+	w, ks, cost, _ := setup(t)
+	budget := 1.15
+	catA, _ := tpch.Generate(0.001, 5)
+	ilpOpts := MonomiOptions()
+	ilpOpts.SpaceBudget = budget
+	ilpRes, err := Run(catA, w, ks, cost, ilpOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catB, _ := tpch.Generate(0.001, 5)
+	sgOpts := MonomiOptions()
+	sgOpts.SpaceBudget = budget
+	sgOpts.SpaceGreedy = true
+	sgRes, err := Run(catB, w, ks, cost, sgOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ilpCost, sgCost float64
+	for i := range ilpRes.PerQuery {
+		ilpCost += ilpRes.PerQuery[i].EstCost
+		sgCost += sgRes.PerQuery[i].EstCost
+	}
+	if ilpCost > sgCost+1e-9 {
+		t.Errorf("ILP (%v) must not be worse than Space-Greedy (%v)", ilpCost, sgCost)
+	}
+}
+
+func TestCryptDBModeExcludesPrecomputation(t *testing.T) {
+	w, ks, cost, _ := setup(t)
+	cat, _ := tpch.Generate(0.001, 5)
+	opts := Options{AllItems: true, NoPrecomputation: true, OnionBaseline: true}
+	res, err := Run(cat, w, ks, cost, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Design.Items {
+		if it.IsPrecomputed() {
+			t.Fatalf("precomputed item %s in CryptDB mode", it.Key())
+		}
+	}
+	// Onion baseline: every column keeps an RND copy.
+	rnd := 0
+	for _, it := range res.Design.Items {
+		if it.Scheme == enc.RND {
+			rnd++
+		}
+	}
+	if rnd < 60 {
+		t.Errorf("onion baseline should cover all columns with RND, got %d", rnd)
+	}
+}
+
+func TestDowngradeUnusedDET(t *testing.T) {
+	cat, _ := tpch.Generate(0.001, 5)
+	ks, _ := enc.NewKeyStore([]byte("k"), 256)
+	ctx := planner.NewContext(cat, &enc.Design{}, ks, planner.DefaultCostModel(netsim.Default()))
+
+	d := &enc.Design{}
+	used := enc.ColumnItem("nation", "n_name", enc.DET, 3)
+	unused := enc.ColumnItem("nation", "n_comment", enc.DET, 3)
+	d.Add(used)
+	d.Add(unused)
+	out := downgradeUnusedDET(d, map[string]bool{used.Key(): true}, ctx, 1e12)
+	if _, ok := out.Find("nation", "n_name", enc.DET); !ok {
+		t.Error("used DET must survive")
+	}
+	if _, ok := out.Find("nation", "n_comment", enc.DET); ok {
+		t.Error("unused DET must downgrade")
+	}
+	if _, ok := out.Find("nation", "n_comment", enc.RND); !ok {
+		t.Error("downgraded column must keep an RND copy")
+	}
+	// With no spare space, nothing downgrades.
+	kept := downgradeUnusedDET(d, map[string]bool{used.Key(): true}, ctx, 0)
+	if _, ok := kept.Find("nation", "n_comment", enc.DET); !ok {
+		t.Error("no spare space: DET must be kept")
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	if _, err := ParseWorkload(map[string]string{"bad": "SELECT FROM"}); err == nil {
+		t.Error("bad SQL must fail")
+	}
+	w, err := ParseWorkload(map[string]string{"b": "SELECT 1 FROM t", "a": "SELECT 2 FROM t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Labels[0] != "a" || w.Labels[1] != "b" {
+		t.Errorf("labels must be sorted: %v", w.Labels)
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	w, ks, cost, _ := setup(t)
+	cat, _ := tpch.Generate(0.001, 5)
+	opts := MonomiOptions()
+	opts.SpaceBudget = 0.01 // below even the DET baseline
+	if _, err := Run(cat, w, ks, cost, opts); err == nil {
+		t.Error("impossible budget should fail")
+	}
+}

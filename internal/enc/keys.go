@@ -1,0 +1,233 @@
+package enc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/crypto/det"
+	"repro/internal/crypto/ope"
+	"repro/internal/crypto/paillier"
+	"repro/internal/crypto/prf"
+	"repro/internal/crypto/rnd"
+	"repro/internal/crypto/search"
+	"repro/internal/value"
+)
+
+// KeyStore holds the master key and lazily derives per-item scheme
+// instances. Only the trusted client owns a KeyStore (Figure 1: "the ODBC
+// library ... is the only component that has access to the decryption
+// keys").
+type KeyStore struct {
+	master   []byte
+	paillier *paillier.Key
+
+	mu     sync.Mutex
+	dets   map[string]*det.Scheme
+	opes   map[string]*ope.Scheme
+	rnds   map[string]*rnd.Scheme
+	srches map[string]*search.Scheme
+}
+
+// NewKeyStore creates a key store with the given master secret and Paillier
+// modulus width (1024 in the paper; tests use smaller).
+func NewKeyStore(master []byte, paillierBits int) (*KeyStore, error) {
+	pk, err := paillier.GenerateKey(paillierBits)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyStore{
+		master:   master,
+		paillier: pk,
+		dets:     make(map[string]*det.Scheme),
+		opes:     make(map[string]*ope.Scheme),
+		rnds:     make(map[string]*rnd.Scheme),
+		srches:   make(map[string]*search.Scheme),
+	}, nil
+}
+
+// Paillier returns the store's Paillier keypair.
+func (ks *KeyStore) Paillier() *paillier.Key { return ks.paillier }
+
+// Det returns the DET scheme for an item.
+func (ks *KeyStore) Det(it *Item) *det.Scheme {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	label := it.KeyLabel()
+	s, ok := ks.dets[label]
+	if !ok {
+		s = det.MustNew(prf.DeriveKey(ks.master, label))
+		ks.dets[label] = s
+	}
+	return s
+}
+
+// Ope returns the OPE scheme for an item.
+func (ks *KeyStore) Ope(it *Item) *ope.Scheme {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	label := it.KeyLabel()
+	s, ok := ks.opes[label]
+	if !ok {
+		s = ope.MustNew(prf.DeriveKey(ks.master, label))
+		ks.opes[label] = s
+	}
+	return s
+}
+
+// Rnd returns the RND scheme for an item.
+func (ks *KeyStore) Rnd(it *Item) (*rnd.Scheme, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	label := it.KeyLabel()
+	s, ok := ks.rnds[label]
+	if !ok {
+		var err error
+		s, err = rnd.New(prf.DeriveKey(ks.master, label))
+		if err != nil {
+			return nil, err
+		}
+		ks.rnds[label] = s
+	}
+	return s, nil
+}
+
+// Search returns the SEARCH scheme for an item.
+func (ks *KeyStore) Search(it *Item) *search.Scheme {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	label := it.KeyLabel()
+	s, ok := ks.srches[label]
+	if !ok {
+		s = search.MustNew(prf.DeriveKey(ks.master, label))
+		ks.srches[label] = s
+	}
+	return s
+}
+
+// EncryptValue encrypts one plaintext value under an item's scheme,
+// producing the server-side representation. HOM items are handled by the
+// pack store, not here.
+func (ks *KeyStore) EncryptValue(it *Item, v value.Value) (value.Value, error) {
+	if v.IsNull() {
+		return value.NewNull(), nil
+	}
+	switch it.Scheme {
+	case DET:
+		switch v.K {
+		case value.Int, value.Date, value.Bool:
+			return value.NewInt(int64(ks.Det(it).EncryptInt64(v.AsInt()))), nil
+		case value.Str:
+			return value.NewBytes(ks.Det(it).EncryptString(v.S)), nil
+		case value.Bytes:
+			return value.NewBytes(ks.Det(it).EncryptBytes(v.B)), nil
+		}
+		return value.Value{}, fmt.Errorf("enc: DET cannot encrypt %v", v.K)
+	case OPE:
+		if !v.IsNumeric() {
+			return value.Value{}, fmt.Errorf("enc: OPE requires numeric plaintext, got %v", v.K)
+		}
+		c, err := ks.Ope(it).Encrypt(v.AsInt())
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewBytes(c), nil
+	case RND:
+		s, err := ks.Rnd(it)
+		if err != nil {
+			return value.Value{}, err
+		}
+		ct, err := s.Encrypt(encodePlain(v))
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewBytes(ct), nil
+	case SEARCH:
+		if v.K != value.Str {
+			return value.Value{}, fmt.Errorf("enc: SEARCH requires string plaintext, got %v", v.K)
+		}
+		return value.NewBytes(ks.Search(it).EncryptText(v.S)), nil
+	}
+	return value.Value{}, fmt.Errorf("enc: cannot encrypt under %v", it.Scheme)
+}
+
+// DecryptValue inverts EncryptValue using the item's recorded plaintext
+// kind.
+func (ks *KeyStore) DecryptValue(it *Item, cv value.Value) (value.Value, error) {
+	if cv.IsNull() {
+		return value.NewNull(), nil
+	}
+	switch it.Scheme {
+	case DET:
+		switch it.PlainKind {
+		case value.Int, value.Bool:
+			return value.NewInt(ks.Det(it).DecryptInt64(uint64(cv.AsInt()))), nil
+		case value.Date:
+			return value.NewDate(ks.Det(it).DecryptInt64(uint64(cv.AsInt()))), nil
+		case value.Str:
+			return value.NewStr(ks.Det(it).DecryptString(cv.B)), nil
+		case value.Bytes:
+			return value.NewBytes(ks.Det(it).DecryptBytes(cv.B)), nil
+		}
+		return value.Value{}, fmt.Errorf("enc: DET cannot decrypt to %v", it.PlainKind)
+	case OPE:
+		x, err := ks.Ope(it).Decrypt(cv.B)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if it.PlainKind == value.Date {
+			return value.NewDate(x), nil
+		}
+		return value.NewInt(x), nil
+	case RND:
+		s, err := ks.Rnd(it)
+		if err != nil {
+			return value.Value{}, err
+		}
+		pt, err := s.Decrypt(cv.B)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return decodePlain(it.PlainKind, pt)
+	case SEARCH:
+		return value.Value{}, fmt.Errorf("enc: SEARCH blobs are not decryptable (store a RND/DET copy)")
+	}
+	return value.Value{}, fmt.Errorf("enc: cannot decrypt %v", it.Scheme)
+}
+
+// encodePlain serializes a plaintext value for RND encryption.
+func encodePlain(v value.Value) []byte {
+	switch v.K {
+	case value.Int, value.Date, value.Bool:
+		x := uint64(v.AsInt())
+		return []byte{
+			byte(x >> 56), byte(x >> 48), byte(x >> 40), byte(x >> 32),
+			byte(x >> 24), byte(x >> 16), byte(x >> 8), byte(x),
+		}
+	case value.Str:
+		return []byte(v.S)
+	case value.Bytes:
+		return v.B
+	}
+	return nil
+}
+
+// decodePlain inverts encodePlain.
+func decodePlain(kind value.Kind, pt []byte) (value.Value, error) {
+	switch kind {
+	case value.Int, value.Date, value.Bool:
+		if len(pt) != 8 {
+			return value.Value{}, fmt.Errorf("enc: bad integer plaintext length %d", len(pt))
+		}
+		x := int64(uint64(pt[0])<<56 | uint64(pt[1])<<48 | uint64(pt[2])<<40 | uint64(pt[3])<<32 |
+			uint64(pt[4])<<24 | uint64(pt[5])<<16 | uint64(pt[6])<<8 | uint64(pt[7]))
+		if kind == value.Date {
+			return value.NewDate(x), nil
+		}
+		return value.NewInt(x), nil
+	case value.Str:
+		return value.NewStr(string(pt)), nil
+	case value.Bytes:
+		return value.NewBytes(pt), nil
+	}
+	return value.Value{}, fmt.Errorf("enc: cannot decode kind %v", kind)
+}

@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// aggSpec is one distinct aggregate to compute per group: either a builtin
+// AggExpr or an aggregate-UDF FuncCall. Keyed by rendered SQL.
+type aggSpec struct {
+	key string
+	agg *ast.AggExpr  // builtin; nil for UDFs
+	udf *ast.FuncCall // aggregate UDF call; nil for builtins
+}
+
+// collectAggSpecs finds every distinct aggregate mentioned in the
+// projections, HAVING, and ORDER BY of a grouped query.
+func (c *execCtx) collectAggSpecs(q *ast.Query) []aggSpec {
+	seen := make(map[string]bool)
+	var specs []aggSpec
+	visit := func(e ast.Expr) {
+		ast.Walk(e, func(x ast.Expr) {
+			switch n := x.(type) {
+			case *ast.AggExpr:
+				k := n.SQL()
+				if !seen[k] {
+					seen[k] = true
+					specs = append(specs, aggSpec{key: k, agg: n})
+				}
+			case *ast.FuncCall:
+				if c.eng.IsAggUDF(n.Name) {
+					k := n.SQL()
+					if !seen[k] {
+						seen[k] = true
+						specs = append(specs, aggSpec{key: k, udf: n})
+					}
+				}
+			}
+		})
+	}
+	for _, p := range q.Projections {
+		visit(p.Expr)
+	}
+	if q.Having != nil {
+		visit(q.Having)
+	}
+	for _, o := range q.OrderBy {
+		visit(o.Expr)
+	}
+	return specs
+}
+
+// builtinAggState accumulates one builtin aggregate.
+type builtinAggState struct {
+	fn       ast.AggFunc
+	distinct bool
+	seen     map[string]bool
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	hasVal   bool
+	minMax   value.Value
+}
+
+func (s *builtinAggState) add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	if s.distinct {
+		if s.seen == nil {
+			s.seen = make(map[string]bool)
+		}
+		k := v.HashKey()
+		if s.seen[k] {
+			return
+		}
+		s.seen[k] = true
+	}
+	s.count++
+	switch s.fn {
+	case ast.AggSum, ast.AggAvg:
+		if v.K == value.Float {
+			s.isFloat = true
+		}
+		s.sumI += v.AsInt()
+		s.sumF += v.AsFloat()
+	case ast.AggMin:
+		if !s.hasVal || value.Compare(v, s.minMax) < 0 {
+			s.minMax = v
+		}
+	case ast.AggMax:
+		if !s.hasVal || value.Compare(v, s.minMax) > 0 {
+			s.minMax = v
+		}
+	}
+	s.hasVal = true
+}
+
+func (s *builtinAggState) result() value.Value {
+	switch s.fn {
+	case ast.AggCount:
+		return value.NewInt(s.count)
+	case ast.AggSum:
+		if !s.hasVal {
+			return value.NewNull()
+		}
+		if s.isFloat {
+			return value.NewFloat(s.sumF)
+		}
+		return value.NewInt(s.sumI)
+	case ast.AggAvg:
+		if s.count == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat(s.sumF / float64(s.count))
+	case ast.AggMin, ast.AggMax:
+		if !s.hasVal {
+			return value.NewNull()
+		}
+		return s.minMax
+	}
+	return value.NewNull()
+}
+
+// execGrouped handles the aggregation path: GROUP BY (possibly empty =
+// single group), aggregate computation, HAVING, projection, ORDER BY.
+func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation, error) {
+	specs := c.collectAggSpecs(q)
+	aliases := aliasMap(q)
+
+	type group struct {
+		firstRow []value.Value
+		builtins []*builtinAggState
+		udfs     []AggState
+	}
+	newGroup := func(row []value.Value) (*group, error) {
+		g := &group{firstRow: row}
+		for _, sp := range specs {
+			if sp.agg != nil {
+				g.builtins = append(g.builtins, &builtinAggState{fn: sp.agg.Func, distinct: sp.agg.Distinct})
+				g.udfs = append(g.udfs, nil)
+				continue
+			}
+			f, ok := c.eng.aggs[strings.ToLower(sp.udf.Name)]
+			if !ok {
+				return nil, fmt.Errorf("engine: unregistered aggregate UDF %s", sp.udf.Name)
+			}
+			g.builtins = append(g.builtins, nil)
+			g.udfs = append(g.udfs, f(c.stats))
+		}
+		return g, nil
+	}
+
+	groups := make(map[string]*group)
+	var order []string // group key order of first appearance
+	for _, row := range in.rows {
+		en := &env{rel: in, row: row, outer: outer, ctx: c}
+		var kb strings.Builder
+		for _, g := range q.GroupBy {
+			v, err := eval(en, g)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.HashKey())
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		grp, ok := groups[key]
+		if !ok {
+			var err error
+			grp, err = newGroup(row)
+			if err != nil {
+				return nil, err
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, sp := range specs {
+			switch {
+			case sp.agg != nil:
+				if sp.agg.Star {
+					grp.builtins[i].count++
+					grp.builtins[i].hasVal = true
+					continue
+				}
+				v, err := eval(en, sp.agg.Arg)
+				if err != nil {
+					return nil, err
+				}
+				grp.builtins[i].add(v)
+			default:
+				args := make([]value.Value, len(sp.udf.Args))
+				for j, a := range sp.udf.Args {
+					v, err := eval(en, a)
+					if err != nil {
+						return nil, err
+					}
+					args[j] = v
+				}
+				if err := grp.udfs[i].Add(args); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// A query with aggregates but no GROUP BY produces exactly one group,
+	// even over zero input rows.
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		grp, err := newGroup(nil)
+		if err != nil {
+			return nil, err
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	outCols := projectionCols(q)
+	outRows := make([]keyedRow, 0, len(order))
+	for _, key := range order {
+		grp := groups[key]
+		aggVals := make(map[string]value.Value, len(specs))
+		for i, sp := range specs {
+			if sp.agg != nil {
+				aggVals[sp.key] = grp.builtins[i].result()
+				continue
+			}
+			v, err := grp.udfs[i].Result()
+			if err != nil {
+				return nil, err
+			}
+			aggVals[sp.key] = v
+		}
+		en := &env{rel: in, row: grp.firstRow, outer: outer, aggs: aggVals, aliases: aliases, ctx: c}
+		if grp.firstRow == nil {
+			en.rel = nil
+		}
+		if q.Having != nil {
+			ok, err := evalBool(en, q.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		vals, err := projectRow(en, q)
+		if err != nil {
+			return nil, err
+		}
+		k := keyedRow{row: vals}
+		if len(q.OrderBy) > 0 {
+			k.keys = make([]value.Value, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				v, err := eval(en, o.Expr)
+				if err != nil {
+					return nil, err
+				}
+				k.keys[i] = v
+			}
+		}
+		outRows = append(outRows, k)
+	}
+	sortKeyed(outRows, q.OrderBy)
+	rows := make([][]value.Value, len(outRows))
+	for i, k := range outRows {
+		rows[i] = k.row
+	}
+	return &relation{cols: outCols, rows: rows}, nil
+}

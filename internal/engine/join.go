@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// joinAll combines the FROM relations using hash joins extracted from the
+// WHERE clause. It returns the joined relation and the residual predicates
+// that could not be applied as single-table filters or equi-join conditions
+// (multi-table inequality predicates, predicates containing subqueries).
+func (c *execCtx) joinAll(q *ast.Query, rels []*relation, outer *env) (*relation, []ast.Expr, error) {
+	refNames := make([]string, len(q.From))
+	for i := range q.From {
+		refNames[i] = q.From[i].RefName()
+	}
+
+	conjuncts := ast.Conjuncts(q.Where)
+	type classified struct {
+		expr   ast.Expr
+		tables map[int]bool // FROM indexes referenced
+		sub    bool         // contains a subquery
+	}
+	classify := func(e ast.Expr) classified {
+		cl := classified{expr: e, tables: map[int]bool{}, sub: ast.HasSubquery(e)}
+		for _, col := range ast.Columns(e) {
+			if idx := resolveTable(col, refNames, rels); idx >= 0 {
+				cl.tables[idx] = true
+			}
+		}
+		return cl
+	}
+
+	var (
+		perTable = make([][]ast.Expr, len(rels))
+		edges    []classified // two-table equality predicates
+		residual []ast.Expr
+	)
+	for _, e := range conjuncts {
+		cl := classify(e)
+		switch {
+		case cl.sub:
+			residual = append(residual, e)
+		case len(cl.tables) == 0:
+			// No table columns: constant or outer-only predicate; keep it
+			// residual so correlated envs resolve.
+			residual = append(residual, e)
+		case len(cl.tables) == 1:
+			for idx := range cl.tables {
+				perTable[idx] = append(perTable[idx], e)
+			}
+		case len(cl.tables) == 2 && isEquiJoin(e):
+			edges = append(edges, cl)
+		default:
+			residual = append(residual, e)
+		}
+	}
+
+	// Apply single-table filters before joining.
+	for i, preds := range perTable {
+		if len(preds) == 0 {
+			continue
+		}
+		pred := ast.AndAll(preds)
+		filtered, err := c.filter(rels[i], pred, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels[i] = filtered
+	}
+
+	// Greedy join: start from table 0, repeatedly attach a table connected
+	// by at least one usable equi-join edge; cross join as a last resort.
+	joinedSet := map[int]bool{0: true}
+	cur := rels[0]
+	used := make([]bool, len(edges))
+	for len(joinedSet) < len(rels) {
+		next := -1
+		for i, e := range edges {
+			if used[i] {
+				continue
+			}
+			in, out := 0, -1
+			for t := range e.tables {
+				if joinedSet[t] {
+					in++
+				} else {
+					out = t
+				}
+			}
+			if in == 1 && out >= 0 {
+				next = out
+				break
+			}
+		}
+		if next < 0 {
+			// no connecting edge: cross join the lowest unjoined table
+			for i := range rels {
+				if !joinedSet[i] {
+					next = i
+					break
+				}
+			}
+			cur = crossJoin(cur, rels[next])
+			joinedSet[next] = true
+			continue
+		}
+		// Gather every edge connecting joinedSet to `next`.
+		var leftKeys, rightKeys []ast.Expr
+		for i, e := range edges {
+			if used[i] {
+				continue
+			}
+			if !e.tables[next] {
+				continue
+			}
+			other := -1
+			for t := range e.tables {
+				if t != next {
+					other = t
+				}
+			}
+			if other < 0 || !joinedSet[other] {
+				continue
+			}
+			be := e.expr.(*ast.BinaryExpr)
+			// Orient: left side references the joined set, right side `next`.
+			l, r := be.Left, be.Right
+			if sideTable(l, refNames, rels) == next {
+				l, r = r, l
+			}
+			leftKeys = append(leftKeys, l)
+			rightKeys = append(rightKeys, r)
+			used[i] = true
+		}
+		var err error
+		cur, err = c.hashJoin(cur, rels[next], leftKeys, rightKeys, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		joinedSet[next] = true
+	}
+
+	// Any edges we never used (e.g. both sides joined via other paths)
+	// become residual filters.
+	for i, e := range edges {
+		if !used[i] {
+			residual = append(residual, e.expr)
+		}
+	}
+	return cur, residual, nil
+}
+
+// resolveTable maps a column reference to its FROM index, or -1 (outer ref).
+func resolveTable(col *ast.ColumnRef, refNames []string, rels []*relation) int {
+	if col.Column == "*" {
+		return -1
+	}
+	if col.Table != "" {
+		for i, n := range refNames {
+			if n == col.Table {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, r := range rels {
+		if idx, err := r.indexOf("", col.Column); err == nil && idx >= 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// isEquiJoin reports whether e is an equality between two expressions.
+func isEquiJoin(e ast.Expr) bool {
+	b, ok := e.(*ast.BinaryExpr)
+	return ok && b.Op == ast.OpEq
+}
+
+// sideTable returns the single FROM index an expression references, or -1.
+func sideTable(e ast.Expr, refNames []string, rels []*relation) int {
+	idx := -1
+	for _, col := range ast.Columns(e) {
+		t := resolveTable(col, refNames, rels)
+		if t < 0 {
+			continue
+		}
+		if idx >= 0 && idx != t {
+			return -1
+		}
+		idx = t
+	}
+	return idx
+}
+
+// filter applies a predicate to a relation.
+func (c *execCtx) filter(r *relation, pred ast.Expr, outer *env) (*relation, error) {
+	out := r.rows[:0:0]
+	for _, row := range r.rows {
+		en := &env{rel: r, row: row, outer: outer, ctx: c}
+		ok, err := evalBool(en, pred)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return &relation{cols: r.cols, rows: out}, nil
+}
+
+// hashJoin joins left and right on the given key expression lists.
+// leftKeys[i] evaluates against left rows, rightKeys[i] against right rows.
+func (c *execCtx) hashJoin(left, right *relation, leftKeys, rightKeys []ast.Expr, outer *env) (*relation, error) {
+	build := make(map[string][][]value.Value, len(right.rows))
+	for _, row := range right.rows {
+		en := &env{rel: right, row: row, outer: outer, ctx: c}
+		key, null, err := joinKey(en, rightKeys)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		build[key] = append(build[key], row)
+	}
+	cols := append(append([]colInfo(nil), left.cols...), right.cols...)
+	var out [][]value.Value
+	for _, lrow := range left.rows {
+		en := &env{rel: left, row: lrow, outer: outer, ctx: c}
+		key, null, err := joinKey(en, leftKeys)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		for _, rrow := range build[key] {
+			combined := make([]value.Value, 0, len(lrow)+len(rrow))
+			combined = append(combined, lrow...)
+			combined = append(combined, rrow...)
+			out = append(out, combined)
+		}
+	}
+	return &relation{cols: cols, rows: out}, nil
+}
+
+// joinKey evaluates key expressions into a composite hash key.
+func joinKey(en *env, keys []ast.Expr) (string, bool, error) {
+	var b strings.Builder
+	for _, k := range keys {
+		v, err := eval(en, k)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		b.WriteString(v.HashKey())
+		b.WriteByte(0)
+	}
+	return b.String(), false, nil
+}
+
+// crossJoin produces the Cartesian product of two relations.
+func crossJoin(left, right *relation) *relation {
+	cols := append(append([]colInfo(nil), left.cols...), right.cols...)
+	out := make([][]value.Value, 0, len(left.rows)*len(right.rows))
+	for _, l := range left.rows {
+		for _, r := range right.rows {
+			combined := make([]value.Value, 0, len(l)+len(r))
+			combined = append(combined, l...)
+			combined = append(combined, r...)
+			out = append(out, combined)
+		}
+	}
+	return &relation{cols: cols, rows: out}
+}

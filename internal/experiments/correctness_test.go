@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/tpch"
+	"repro/internal/value"
+)
+
+// The correctness gate: every supported TPC-H query must produce identical
+// results on the plaintext engine and through encrypted split execution,
+// under each system configuration.
+
+const (
+	testSF   = tpch.ScaleFactor(0.002)
+	testSeed = 11
+)
+
+var benchCache = struct {
+	sync.Mutex
+	m map[string]*Bench
+}{m: make(map[string]*Bench)}
+
+func cachedSetup(t testing.TB, cfg Config) *Bench {
+	t.Helper()
+	benchCache.Lock()
+	defer benchCache.Unlock()
+	if b, ok := benchCache.m[cfg.Name]; ok {
+		return b
+	}
+	b, err := Setup(cfg)
+	if err != nil {
+		t.Fatalf("setup %s: %v", cfg.Name, err)
+	}
+	benchCache.m[cfg.Name] = b
+	return b
+}
+
+func monomiBench(t testing.TB) *Bench {
+	cfg := MonomiConfig(testSF)
+	cfg.Seed = testSeed
+	cfg.PaillierBits = 512 // faster keygen/encryption in tests
+	return cachedSetup(t, cfg)
+}
+
+func canonical(rows [][]value.Value, ordered bool) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if v.K == value.Float {
+				parts[j] = fmt.Sprintf("%.4f", v.F)
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	if !ordered {
+		sort.Strings(out)
+	}
+	return out
+}
+
+func checkTPCHQuery(t *testing.T, b *Bench, qn int) {
+	t.Helper()
+	plain, err := b.RunPlain(qn)
+	if err != nil {
+		t.Fatalf("Q%d plaintext: %v", qn, err)
+	}
+	encRes, err := b.RunEncrypted(qn)
+	if err != nil {
+		t.Fatalf("Q%d encrypted: %v", qn, err)
+	}
+	// TPC-H ORDER BY keys do not always determine a total order (ties);
+	// compare order-insensitively, which still catches value errors.
+	w := canonical(plain.Rows, false)
+	g := canonical(encRes.Rows, false)
+	if len(w) != len(g) {
+		t.Fatalf("Q%d: got %d rows, want %d\nplan:\n%s", qn, len(g), len(w), encRes.Plan.Describe())
+	}
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("Q%d row %d:\n got  %s\n want %s\nplan:\n%s", qn, i, g[i], w[i], encRes.Plan.Describe())
+		}
+	}
+}
+
+func TestMonomiTPCHCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TPC-H correctness run")
+	}
+	b := monomiBench(t)
+	for _, qn := range tpch.SupportedQueries() {
+		qn := qn
+		t.Run(fmt.Sprintf("Q%02d", qn), func(t *testing.T) {
+			checkTPCHQuery(t, b, qn)
+		})
+	}
+}
+
+func TestCryptDBClientTPCHCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TPC-H correctness run")
+	}
+	cfg := CryptDBClientConfig(testSF)
+	cfg.Seed = testSeed
+	cfg.PaillierBits = 512
+	b := cachedSetup(t, cfg)
+	for _, qn := range tpch.SupportedQueries() {
+		qn := qn
+		t.Run(fmt.Sprintf("Q%02d", qn), func(t *testing.T) {
+			checkTPCHQuery(t, b, qn)
+		})
+	}
+}
+
+func TestExecutionGreedyTPCHCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TPC-H correctness run")
+	}
+	cfg := ExecutionGreedyConfig(testSF)
+	cfg.Seed = testSeed
+	cfg.PaillierBits = 512
+	b := cachedSetup(t, cfg)
+	for _, qn := range tpch.SupportedQueries() {
+		qn := qn
+		t.Run(fmt.Sprintf("Q%02d", qn), func(t *testing.T) {
+			checkTPCHQuery(t, b, qn)
+		})
+	}
+}

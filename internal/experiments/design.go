@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/designer"
+	"repro/internal/enc"
+	"repro/internal/netsim"
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/tpch"
+)
+
+// Figure 8: designer sensitivity to the input workload. The paper
+// enumerates all n-choose-k query subsets and picks the one whose design
+// minimizes the cost estimate over the full workload; we use greedy forward
+// selection (k=1 best, then the best addition, ...), which finds the same
+// kind of representative queries at a fraction of the planning effort —
+// the deviation is documented in EXPERIMENTS.md.
+
+// Fig8Row is one k's outcome.
+type Fig8Row struct {
+	K        int
+	Chosen   []int
+	Estimate float64       // designer cost estimate over all 19 queries
+	Runtime  time.Duration // measured total workload runtime
+}
+
+// Fig8Result is the full sensitivity sweep.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Figure8 runs the sweep for k = 0..maxK plus k = all.
+func Figure8(sf tpch.ScaleFactor, seed int64, bits int, maxK int) (*Fig8Result, error) {
+	all := tpch.SupportedQueries()
+
+	// estimate builds a design from the subset and sums the §6.4 cost of
+	// the best plan for every workload query under that design.
+	estimate := func(subset []int) (float64, error) {
+		cfg := MonomiConfig(sf)
+		cfg.Seed = seed
+		cfg.PaillierBits = bits
+		cfg.Designer.SpaceBudget = 0 // unconstrained, as in the paper's §8.5
+		ctx, err := designContext(cfg, subset)
+		if err != nil {
+			return 0, err
+		}
+		total := 0.0
+		for _, qn := range all {
+			q, err := sqlparser.Parse(tpch.Queries[qn])
+			if err != nil {
+				return 0, err
+			}
+			prepared, err := planner.Prepare(q, nil)
+			if err != nil {
+				return 0, err
+			}
+			plan, err := ctx.BestPlan(prepared)
+			if err != nil {
+				return 0, err
+			}
+			total += plan.EstTotal()
+		}
+		return total, nil
+	}
+
+	// Greedy forward selection of the best k queries.
+	var chosen []int
+	res := &Fig8Result{}
+	for k := 0; k <= maxK; k++ {
+		if k > 0 {
+			bestQ, bestEst := -1, math.Inf(1)
+			for _, qn := range all {
+				if contains(chosen, qn) {
+					continue
+				}
+				est, err := estimate(append(append([]int{}, chosen...), qn))
+				if err != nil {
+					continue
+				}
+				if est < bestEst {
+					bestEst = est
+					bestQ = qn
+				}
+			}
+			if bestQ < 0 {
+				return nil, fmt.Errorf("figure8: no feasible addition at k=%d", k)
+			}
+			chosen = append(chosen, bestQ)
+		}
+		est, err := estimate(chosen)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := measureWorkload(sf, seed, bits, chosen, all)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig8Row{
+			K: k, Chosen: append([]int{}, chosen...), Estimate: est, Runtime: rt,
+		})
+	}
+	// k = all.
+	est, err := estimate(all)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := measureWorkload(sf, seed, bits, all, all)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Fig8Row{K: len(all), Chosen: all, Estimate: est, Runtime: rt})
+	return res, nil
+}
+
+// EstimateSweep is Figure 8's designer-side half: greedy forward selection
+// of the best k input queries by full-workload cost estimate, without
+// building the encrypted systems (the measurement half is measureWorkload).
+// Used by the benchmark harness, where repeated full system builds exceed
+// modest memory limits.
+func EstimateSweep(sf tpch.ScaleFactor, seed int64, bits int, maxK int) ([]Fig8Row, error) {
+	all := tpch.SupportedQueries()
+	estimate := func(subset []int) (float64, error) {
+		cfg := MonomiConfig(sf)
+		cfg.Seed = seed
+		cfg.PaillierBits = bits
+		cfg.Designer.SpaceBudget = 0
+		ctx, err := designContext(cfg, subset)
+		if err != nil {
+			return 0, err
+		}
+		total := 0.0
+		for _, qn := range all {
+			q, err := sqlparser.Parse(tpch.Queries[qn])
+			if err != nil {
+				return 0, err
+			}
+			prepared, err := planner.Prepare(q, nil)
+			if err != nil {
+				return 0, err
+			}
+			plan, err := ctx.BestPlan(prepared)
+			if err != nil {
+				return 0, err
+			}
+			total += plan.EstTotal()
+		}
+		return total, nil
+	}
+	var chosen []int
+	var rows []Fig8Row
+	for k := 0; k <= maxK; k++ {
+		if k > 0 {
+			bestQ, bestEst := -1, math.Inf(1)
+			for _, qn := range all {
+				if contains(chosen, qn) {
+					continue
+				}
+				est, err := estimate(append(append([]int{}, chosen...), qn))
+				if err != nil {
+					continue
+				}
+				if est < bestEst {
+					bestEst = est
+					bestQ = qn
+				}
+			}
+			if bestQ < 0 {
+				return nil, fmt.Errorf("estimate sweep: no feasible addition at k=%d", k)
+			}
+			chosen = append(chosen, bestQ)
+		}
+		est, err := estimate(chosen)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{K: k, Chosen: append([]int{}, chosen...), Estimate: est})
+	}
+	est, err := estimate(all)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Fig8Row{K: len(all), Chosen: all, Estimate: est})
+	return rows, nil
+}
+
+// designContext runs the designer on a workload subset and returns the
+// planning context bound to the resulting design (no encryption).
+func designContext(cfg Config, subset []int) (*planner.Context, error) {
+	cat, err := tpch.Generate(cfg.SF, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ks, err := enc.NewKeyStore([]byte("monomi-experiments"), cfg.PaillierBits)
+	if err != nil {
+		return nil, err
+	}
+	net := cfg.Net
+	if net == (netsim.Config{}) {
+		net = netsim.Default()
+	}
+	cost := planner.DefaultCostModel(net)
+	labeled := make(map[string]string, len(subset))
+	for _, qn := range subset {
+		labeled[fmt.Sprintf("Q%02d", qn)] = tpch.Queries[qn]
+	}
+	if len(subset) == 0 {
+		// k=0: baseline-only design.
+		base := planner.NewContext(cat, &enc.Design{}, ks, cost)
+		base.JoinGroups = planner.BuildJoinGroups(base, nil)
+		d := designer.BaselineDesign(cat, base.JoinGroups, false)
+		ctx := base.WithDesign(d)
+		ctx.EnablePrefilter = true
+		return ctx, nil
+	}
+	w, err := designer.ParseWorkload(labeled)
+	if err != nil {
+		return nil, err
+	}
+	dres, err := designer.Run(cat, w, ks, cost, cfg.Designer)
+	if err != nil {
+		return nil, err
+	}
+	dres.Context.EnablePrefilter = true
+	return dres.Context, nil
+}
+
+// measureWorkload builds the encrypted system for a designer subset and
+// measures the total runtime of the full workload.
+func measureWorkload(sf tpch.ScaleFactor, seed int64, bits int, subset, all []int) (time.Duration, error) {
+	cfg := MonomiConfig(sf)
+	cfg.Seed = seed
+	cfg.PaillierBits = bits
+	cfg.Designer.SpaceBudget = 0
+	cfg.Queries = subset
+	if len(subset) == 0 {
+		cfg.Queries = []int{} // designer still runs; baseline-only design
+	}
+	b, err := Setup(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, qn := range all {
+		r, err := b.RunEncrypted(qn)
+		if err != nil {
+			return 0, fmt.Errorf("Q%d: %w", qn, err)
+		}
+		total += r.Total()
+	}
+	return total, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders Figure 8.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: designer quality with the best k input queries\n")
+	fmt.Fprintf(&b, "%-4s %-24s %14s %14s\n", "k", "chosen", "cost estimate", "total runtime")
+	for _, row := range r.Rows {
+		names := make([]string, len(row.Chosen))
+		for i, q := range row.Chosen {
+			names[i] = fmt.Sprintf("Q%d", q)
+		}
+		label := strings.Join(names, ",")
+		if len(label) > 24 {
+			label = label[:21] + "..."
+		}
+		fmt.Fprintf(&b, "%-4d %-24s %14.2f %14s\n", row.K, label, row.Estimate,
+			row.Runtime.Round(time.Millisecond))
+	}
+	return b.String()
+}

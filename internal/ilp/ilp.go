@@ -1,0 +1,164 @@
+// Package ilp solves MONOMI's physical-design integer program (§6.5):
+//
+//	minimize   Σ_i Σ_j cost(i,j) · x_{i,j}
+//	subject to Σ_j x_{i,j} = 1                       (one plan per query)
+//	           Σ_k e_k · size(k) ≤ budget            (server space)
+//	           |cand(i,j)| · x_{i,j} − Σ_{k∈cand(i,j)} e_k ≤ 0   (linking)
+//	           x, e ∈ {0,1}
+//
+// The formulation's structure — pick one candidate per query, pay for the
+// union of the items the chosen candidates need, subject to a knapsack on
+// that union — admits an exact branch-and-bound: queries are decision
+// levels, candidates are branches ordered by cost, the bound adds each
+// remaining query's cheapest candidate, and a branch dies as soon as its
+// item union exceeds the budget (sizes are non-negative, so the union's
+// size grows monotonically). The solution is the ILP optimum.
+package ilp
+
+import (
+	"math"
+	"sort"
+)
+
+// Candidate is one plan alternative for a query: its estimated cost and the
+// (globally indexed) encrypted items it requires beyond the baseline.
+type Candidate struct {
+	Cost  float64
+	Items []int
+}
+
+// Problem is a full design problem.
+type Problem struct {
+	// Candidates[i] lists query i's alternatives. Every query must have at
+	// least one candidate; feasibility is guaranteed when each query has a
+	// candidate with no extra items (the DET-baseline plan).
+	Candidates [][]Candidate
+	// Sizes[k] is item k's estimated server footprint in bytes.
+	Sizes []float64
+	// Budget is the extra space allowance beyond the baseline.
+	Budget float64
+}
+
+// Vars reports the ILP's variable count (x's plus e's), for §8.1-style
+// reporting.
+func (p *Problem) Vars() int {
+	n := len(p.Sizes)
+	for _, c := range p.Candidates {
+		n += len(c)
+	}
+	return n
+}
+
+// Constraints reports the ILP's constraint count: one choice constraint per
+// query, the space constraint, and one linking constraint per candidate.
+func (p *Problem) Constraints() int {
+	n := len(p.Candidates) + 1
+	for _, c := range p.Candidates {
+		n += len(c)
+	}
+	return n
+}
+
+// Solution is the optimizer's output.
+type Solution struct {
+	Choice    []int // chosen candidate index per query
+	Cost      float64
+	SpaceUsed float64
+	Items     []int // union of chosen items
+	Nodes     int   // search nodes explored
+}
+
+// Solve finds the optimal assignment, or ok=false if no assignment fits the
+// budget.
+func Solve(p *Problem) (*Solution, bool) {
+	n := len(p.Candidates)
+	if n == 0 {
+		return &Solution{}, true
+	}
+
+	// Order each query's candidates by cost so DFS tries cheap ones first.
+	type order struct {
+		idx  []int
+		minC float64
+	}
+	orders := make([]order, n)
+	for i, cands := range p.Candidates {
+		o := order{idx: make([]int, len(cands)), minC: math.Inf(1)}
+		for j := range cands {
+			o.idx[j] = j
+			if cands[j].Cost < o.minC {
+				o.minC = cands[j].Cost
+			}
+		}
+		sort.Slice(o.idx, func(a, b int) bool {
+			return cands[o.idx[a]].Cost < cands[o.idx[b]].Cost
+		})
+		orders[i] = o
+	}
+	// Suffix of minimum remaining cost for bounding.
+	suffixMin := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixMin[i] = suffixMin[i+1] + orders[i].minC
+	}
+
+	best := &Solution{Cost: math.Inf(1)}
+	chosen := make([]int, n)
+	inSet := make([]bool, len(p.Sizes))
+	var nodes int
+
+	var dfs func(i int, cost, space float64)
+	dfs = func(i int, cost, space float64) {
+		nodes++
+		if cost+suffixMin[i] >= best.Cost {
+			return
+		}
+		if i == n {
+			best.Cost = cost
+			best.SpaceUsed = space
+			best.Choice = append(best.Choice[:0], chosen...)
+			return
+		}
+		for _, j := range orders[i].idx {
+			cand := &p.Candidates[i][j]
+			if cost+cand.Cost+suffixMin[i+1] >= best.Cost {
+				break // candidates are cost-sorted
+			}
+			var added []int
+			extra := 0.0
+			for _, k := range cand.Items {
+				if !inSet[k] {
+					extra += p.Sizes[k]
+					added = append(added, k)
+				}
+			}
+			if space+extra > p.Budget {
+				continue
+			}
+			for _, k := range added {
+				inSet[k] = true
+			}
+			chosen[i] = j
+			dfs(i+1, cost+cand.Cost, space+extra)
+			for _, k := range added {
+				inSet[k] = false
+			}
+		}
+	}
+	dfs(0, 0, 0)
+	best.Nodes = nodes
+	if math.IsInf(best.Cost, 1) {
+		return nil, false
+	}
+	// Reconstruct the chosen item union.
+	itemSet := make(map[int]bool)
+	for i, j := range best.Choice {
+		for _, k := range p.Candidates[i][j].Items {
+			itemSet[k] = true
+		}
+	}
+	for k := range itemSet {
+		best.Items = append(best.Items, k)
+	}
+	sort.Ints(best.Items)
+	return best, true
+}

@@ -1,0 +1,166 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleQueryPicksCheapestFeasible(t *testing.T) {
+	p := &Problem{
+		Candidates: [][]Candidate{{
+			{Cost: 1, Items: []int{0}}, // needs a big item
+			{Cost: 5, Items: nil},      // baseline
+		}},
+		Sizes:  []float64{100},
+		Budget: 50,
+	}
+	sol, ok := Solve(p)
+	if !ok {
+		t.Fatal("should be feasible")
+	}
+	if sol.Choice[0] != 1 || sol.Cost != 5 {
+		t.Errorf("choice = %v cost = %v; cheapest candidate exceeds budget", sol.Choice, sol.Cost)
+	}
+	p.Budget = 200
+	sol, _ = Solve(p)
+	if sol.Choice[0] != 0 || sol.Cost != 1 {
+		t.Errorf("with budget, should pick cheapest: %v", sol)
+	}
+}
+
+func TestSharedItemCountedOnce(t *testing.T) {
+	// Two queries both want item 0 (size 80, budget 100): sharing must be
+	// feasible even though 2×80 > 100.
+	p := &Problem{
+		Candidates: [][]Candidate{
+			{{Cost: 1, Items: []int{0}}, {Cost: 10}},
+			{{Cost: 1, Items: []int{0}}, {Cost: 10}},
+		},
+		Sizes:  []float64{80},
+		Budget: 100,
+	}
+	sol, ok := Solve(p)
+	if !ok {
+		t.Fatal("feasible")
+	}
+	if sol.Cost != 2 {
+		t.Errorf("cost = %v, want 2 (item shared)", sol.Cost)
+	}
+	if sol.SpaceUsed != 80 {
+		t.Errorf("space = %v, want 80", sol.SpaceUsed)
+	}
+}
+
+func TestTradeoffAcrossQueries(t *testing.T) {
+	// Budget admits item 0 xor item 1. Item 0 saves query A 100s; item 1
+	// saves query B 10s. The optimum funds item 0.
+	p := &Problem{
+		Candidates: [][]Candidate{
+			{{Cost: 1, Items: []int{0}}, {Cost: 101}},
+			{{Cost: 1, Items: []int{1}}, {Cost: 11}},
+		},
+		Sizes:  []float64{60, 60},
+		Budget: 100,
+	}
+	sol, ok := Solve(p)
+	if !ok {
+		t.Fatal("feasible")
+	}
+	if sol.Choice[0] != 0 || sol.Choice[1] != 1 {
+		t.Errorf("choice = %v, want item 0 funded", sol.Choice)
+	}
+	if sol.Cost != 12 {
+		t.Errorf("cost = %v, want 12", sol.Cost)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		Candidates: [][]Candidate{{{Cost: 1, Items: []int{0}}}},
+		Sizes:      []float64{100},
+		Budget:     10,
+	}
+	if _, ok := Solve(p); ok {
+		t.Error("should be infeasible: the only candidate exceeds the budget")
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	sol, ok := Solve(&Problem{})
+	if !ok || sol.Cost != 0 {
+		t.Error("empty problem solves trivially")
+	}
+}
+
+func TestVarsAndConstraints(t *testing.T) {
+	p := &Problem{
+		Candidates: [][]Candidate{
+			{{Cost: 1}, {Cost: 2}},
+			{{Cost: 1}, {Cost: 2}, {Cost: 3}},
+		},
+		Sizes: []float64{1, 2, 3},
+	}
+	if p.Vars() != 5+3 {
+		t.Errorf("vars = %d", p.Vars())
+	}
+	if p.Constraints() != 2+1+5 {
+		t.Errorf("constraints = %d", p.Constraints())
+	}
+}
+
+// Property: branch-and-bound matches brute force on small random problems.
+func TestMatchesBruteForceProperty(t *testing.T) {
+	f := func(seedCosts [6]uint8, seedItems [6]uint8, budgetRaw uint8) bool {
+		// Two queries × three candidates over four items.
+		var p Problem
+		p.Sizes = []float64{10, 20, 30, 40}
+		p.Budget = float64(budgetRaw%120) + 1
+		idx := 0
+		for q := 0; q < 2; q++ {
+			var cands []Candidate
+			for c := 0; c < 3; c++ {
+				cand := Candidate{Cost: float64(seedCosts[idx]%50) + 1}
+				mask := seedItems[idx] % 16
+				for k := 0; k < 4; k++ {
+					if mask&(1<<k) != 0 {
+						cand.Items = append(cand.Items, k)
+					}
+				}
+				cands = append(cands, cand)
+				idx++
+			}
+			// Guarantee feasibility with a baseline candidate.
+			cands = append(cands, Candidate{Cost: 100})
+			p.Candidates = append(p.Candidates, cands)
+		}
+		got, ok := Solve(&p)
+		if !ok {
+			return false
+		}
+		// Brute force.
+		best := math.Inf(1)
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				space := 0.0
+				seen := map[int]bool{}
+				for _, k := range append(append([]int{}, p.Candidates[0][a].Items...), p.Candidates[1][b].Items...) {
+					if !seen[k] {
+						seen[k] = true
+						space += p.Sizes[k]
+					}
+				}
+				if space > p.Budget {
+					continue
+				}
+				if c := p.Candidates[0][a].Cost + p.Candidates[1][b].Cost; c < best {
+					best = c
+				}
+			}
+		}
+		return got.Cost == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

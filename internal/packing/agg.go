@@ -1,0 +1,221 @@
+package packing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"repro/internal/crypto/paillier"
+)
+
+// Grouped homomorphic aggregation protocol.
+//
+// The server-side UDF receives the row_ids of a group's matching rows and
+// produces a compact wire result:
+//
+//   - every pack whose rows ALL matched is folded into a single running
+//     product (one modular multiplication per pack — §5.3's "one modular
+//     multiplication per row" collapses to per-pack with multi-row packing);
+//   - packs that matched only partially are shipped whole, with a bitmask
+//     of which of their rows matched; the client decrypts those few packs
+//     and adds only the masked slots.
+//
+// With RowsPerCipher = 1 (per-row Paillier, the CryptDB-era baseline) every
+// pack is trivially fully matched and the protocol degenerates to the
+// classic PAILLIER_SUM.
+
+// wireVersion tags the aggregation wire format.
+const wireVersion = 1
+
+// SumResult is the server's aggregation output before encoding.
+type SumResult struct {
+	Product  *big.Int // product of fully-matched pack ciphertexts; nil if none
+	Partials []Partial
+	// SawRows distinguishes "the group had rows but none matched the
+	// conditional" (sum = 0) from "the aggregate ran over zero rows"
+	// (sum = NULL). The UDF sets it when it observed any input row.
+	SawRows  bool
+	MulOps   int   // modular multiplications performed (server CPU model)
+	ReadSize int64 // ciphertext bytes read from the pack store
+}
+
+// Partial is one partially-matched pack.
+type Partial struct {
+	Mask   uint64 // bit i set = row at offset i of the pack matched
+	Cipher *big.Int
+}
+
+// HomSum aggregates the given row IDs on the server. rowIDs need not be
+// sorted; duplicates are rejected.
+func HomSum(s *Store, rowIDs []int) (*SumResult, error) {
+	type packAcc struct {
+		mask  uint64
+		count int
+	}
+	packs := make(map[int]*packAcc)
+	for _, id := range rowIDs {
+		if id < 0 || id >= s.NumRows {
+			return nil, fmt.Errorf("packing: row id %d out of range [0,%d)", id, s.NumRows)
+		}
+		p, off := s.PackIndex(id)
+		acc := packs[p]
+		if acc == nil {
+			acc = &packAcc{}
+			packs[p] = acc
+		}
+		bit := uint64(1) << uint(off)
+		if acc.mask&bit != 0 {
+			return nil, fmt.Errorf("packing: duplicate row id %d", id)
+		}
+		acc.mask |= bit
+		acc.count++
+	}
+	res := &SumResult{}
+	for p, acc := range packs {
+		res.ReadSize += int64(s.CipherBytes())
+		if acc.count == s.RowsInPack(p) {
+			if res.Product == nil {
+				res.Product = new(big.Int).Set(s.Ciphers[p])
+			} else {
+				res.Product = s.Key.AddCipher(res.Product, s.Ciphers[p])
+				res.MulOps++
+			}
+			continue
+		}
+		res.Partials = append(res.Partials, Partial{Mask: acc.mask, Cipher: s.Ciphers[p]})
+	}
+	return res, nil
+}
+
+// Encode serializes the result for transfer to the client. cipherBytes is
+// the fixed ciphertext width.
+func (r *SumResult) Encode(cipherBytes int) []byte {
+	size := 3 + 4 + len(r.Partials)*(8+cipherBytes)
+	if r.Product != nil {
+		size += cipherBytes
+	}
+	out := make([]byte, 0, size)
+	out = append(out, wireVersion)
+	if r.SawRows {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	if r.Product != nil {
+		out = append(out, 1)
+		buf := make([]byte, cipherBytes)
+		r.Product.FillBytes(buf)
+		out = append(out, buf...)
+	} else {
+		out = append(out, 0)
+	}
+	var n4 [4]byte
+	binary.BigEndian.PutUint32(n4[:], uint32(len(r.Partials)))
+	out = append(out, n4[:]...)
+	for _, p := range r.Partials {
+		var m8 [8]byte
+		binary.BigEndian.PutUint64(m8[:], p.Mask)
+		out = append(out, m8[:]...)
+		buf := make([]byte, cipherBytes)
+		p.Cipher.FillBytes(buf)
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// DecodeSumResult parses the wire format.
+func DecodeSumResult(wire []byte, cipherBytes int) (*SumResult, error) {
+	if len(wire) < 6 {
+		return nil, fmt.Errorf("packing: truncated aggregation result")
+	}
+	if wire[0] != wireVersion {
+		return nil, fmt.Errorf("packing: unknown wire version %d", wire[0])
+	}
+	res := &SumResult{}
+	pos := 1
+	res.SawRows = wire[pos] == 1
+	pos++
+	if len(wire) < pos+1 {
+		return nil, fmt.Errorf("packing: truncated header")
+	}
+	hasProduct := wire[pos] == 1
+	pos++
+	if hasProduct {
+		if len(wire) < pos+cipherBytes {
+			return nil, fmt.Errorf("packing: truncated product ciphertext")
+		}
+		res.Product = new(big.Int).SetBytes(wire[pos : pos+cipherBytes])
+		pos += cipherBytes
+	}
+	if len(wire) < pos+4 {
+		return nil, fmt.Errorf("packing: truncated partial count")
+	}
+	n := int(binary.BigEndian.Uint32(wire[pos : pos+4]))
+	pos += 4
+	for i := 0; i < n; i++ {
+		if len(wire) < pos+8+cipherBytes {
+			return nil, fmt.Errorf("packing: truncated partial %d", i)
+		}
+		mask := binary.BigEndian.Uint64(wire[pos : pos+8])
+		pos += 8
+		c := new(big.Int).SetBytes(wire[pos : pos+cipherBytes])
+		pos += cipherBytes
+		res.Partials = append(res.Partials, Partial{Mask: mask, Cipher: c})
+	}
+	return res, nil
+}
+
+// PlainCache memoizes Paillier decryptions of partial packs. The same pack
+// ciphertext reaches the client once per group that touches it (e.g. Q1's
+// four groups interleave within packs); one decryption recovers every slot,
+// so caching by ciphertext collapses the repeats.
+type PlainCache map[string]*big.Int
+
+// ClientSums finishes the aggregation on the trusted client: decrypt the
+// product and each partial pack, then add up the relevant slots. Returns
+// one sum per layout column and the number of Paillier decryptions
+// performed (the dominant client CPU cost the planner models, §6.4).
+// cache may be nil.
+func ClientSums(key *paillier.Key, layout Layout, res *SumResult, cache PlainCache) ([]int64, int, error) {
+	sums := make([]int64, len(layout.Cols))
+	decrypts := 0
+	if res.Product != nil {
+		m, err := key.Decrypt(res.Product)
+		if err != nil {
+			return nil, 0, err
+		}
+		decrypts++
+		for j, v := range layout.ColumnSums(m) {
+			sums[j] += v
+		}
+	}
+	for _, p := range res.Partials {
+		var m *big.Int
+		ck := ""
+		if cache != nil {
+			ck = string(key.CiphertextBytes(p.Cipher))
+			m = cache[ck]
+		}
+		if m == nil {
+			var err error
+			m, err = key.Decrypt(p.Cipher)
+			if err != nil {
+				return nil, 0, err
+			}
+			decrypts++
+			if cache != nil {
+				cache[ck] = m
+			}
+		}
+		rows := layout.Unpack(m)
+		for i, row := range rows {
+			if p.Mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			for j, v := range row {
+				sums[j] += v
+			}
+		}
+	}
+	return sums, decrypts, nil
+}

@@ -1,0 +1,203 @@
+// Package packing implements MONOMI's space-efficient Paillier packing
+// (§5.2) and grouped homomorphic addition (§5.3), following Ge–Zdonik.
+//
+// A Layout places k aggregatable columns of a row side by side in one
+// plaintext slot (grouped addition: one modular multiplication per row sums
+// all k columns simultaneously) and stacks r rows of slots into a single
+// 1,024-bit Paillier plaintext (multi-row packing: ~90% less ciphertext
+// space per value). Each column field is padded with enough zero bits that
+// summing every row in the table cannot carry into the neighboring field —
+// the paper uses log2(max rows) ≈ 27 bits of padding.
+//
+// A Store is the paper's "ciphertext file" (§7): packed ciphertexts are
+// kept outside the row store and addressed by row_id, with the server-side
+// UDF computing the pack index from the row_id.
+package packing
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/crypto/paillier"
+)
+
+// Col describes one packed column: its name and value width in bits.
+type Col struct {
+	Name string
+	Bits int
+}
+
+// Layout is the bit-level plan for packing rows into Paillier plaintexts.
+type Layout struct {
+	Cols          []Col
+	PadBits       int // zero padding per field to absorb carries
+	RowsPerCipher int // how many rows share one ciphertext
+}
+
+// MaxRowsPerCipher caps multi-row packing so a partial-pack row mask fits
+// in a uint64 on the wire.
+const MaxRowsPerCipher = 64
+
+// NewLayout computes a layout for the given columns: fields of
+// (bits+padBits) each, rows packed to fill plainBits (e.g. the Paillier
+// key's usable plaintext width), capped at MaxRowsPerCipher. multiRow=false
+// forces one row per ciphertext (the paper's per-row Paillier baseline).
+func NewLayout(cols []Col, padBits, plainBits int, multiRow bool) (Layout, error) {
+	if len(cols) == 0 {
+		return Layout{}, fmt.Errorf("packing: no columns")
+	}
+	l := Layout{Cols: cols, PadBits: padBits}
+	rb := l.RowBits()
+	if rb > plainBits {
+		return Layout{}, fmt.Errorf("packing: row needs %d bits, plaintext has %d", rb, plainBits)
+	}
+	if !multiRow {
+		l.RowsPerCipher = 1
+		return l, nil
+	}
+	l.RowsPerCipher = plainBits / rb
+	if l.RowsPerCipher > MaxRowsPerCipher {
+		l.RowsPerCipher = MaxRowsPerCipher
+	}
+	return l, nil
+}
+
+// FieldBits is the width of one column field including padding.
+func (l *Layout) FieldBits(j int) int { return l.Cols[j].Bits + l.PadBits }
+
+// RowBits is the width of one row's slot.
+func (l *Layout) RowBits() int {
+	n := 0
+	for j := range l.Cols {
+		n += l.FieldBits(j)
+	}
+	return n
+}
+
+// fieldOffset returns the bit offset (from the LSB) of (row i, col j).
+func (l *Layout) fieldOffset(i, j int) int {
+	off := i * l.RowBits()
+	for t := 0; t < j; t++ {
+		off += l.FieldBits(t)
+	}
+	return off
+}
+
+// Pack packs up to RowsPerCipher rows into one plaintext. Each row supplies
+// one non-negative value per column; missing rows are zero.
+func (l *Layout) Pack(rows [][]int64) (*big.Int, error) {
+	if len(rows) > l.RowsPerCipher {
+		return nil, fmt.Errorf("packing: %d rows exceed layout capacity %d", len(rows), l.RowsPerCipher)
+	}
+	m := new(big.Int)
+	tmp := new(big.Int)
+	for i, row := range rows {
+		if len(row) != len(l.Cols) {
+			return nil, fmt.Errorf("packing: row has %d values, layout has %d columns", len(row), len(l.Cols))
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("packing: negative value %d in column %s", v, l.Cols[j].Name)
+			}
+			if bits := big.NewInt(v).BitLen(); bits > l.Cols[j].Bits {
+				return nil, fmt.Errorf("packing: value %d needs %d bits, column %s has %d",
+					v, bits, l.Cols[j].Name, l.Cols[j].Bits)
+			}
+			tmp.SetInt64(v)
+			tmp.Lsh(tmp, uint(l.fieldOffset(i, j)))
+			m.Add(m, tmp)
+		}
+	}
+	return m, nil
+}
+
+// Unpack splits a (decrypted, possibly summed) plaintext back into
+// per-row per-column field values.
+func (l *Layout) Unpack(m *big.Int) [][]int64 {
+	out := make([][]int64, l.RowsPerCipher)
+	mask := new(big.Int)
+	tmp := new(big.Int)
+	for i := 0; i < l.RowsPerCipher; i++ {
+		out[i] = make([]int64, len(l.Cols))
+		for j := range l.Cols {
+			fb := uint(l.FieldBits(j))
+			mask.Lsh(big.NewInt(1), fb)
+			mask.Sub(mask, big.NewInt(1))
+			tmp.Rsh(m, uint(l.fieldOffset(i, j)))
+			tmp.And(tmp, mask)
+			out[i][j] = tmp.Int64()
+		}
+	}
+	return out
+}
+
+// ColumnSums collapses an Unpack result into one sum per column — the
+// client-side last step of grouped homomorphic addition.
+func (l *Layout) ColumnSums(m *big.Int) []int64 {
+	rows := l.Unpack(m)
+	sums := make([]int64, len(l.Cols))
+	for _, row := range rows {
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// Store is one column-group's ciphertext file: packed Paillier ciphertexts
+// addressed by row_id.
+type Store struct {
+	Name    string
+	Key     *paillier.Key
+	Layout  Layout
+	Ciphers []*big.Int
+	NumRows int
+}
+
+// BuildStore packs and encrypts all rows of a column group. rows[i] holds
+// the plaintext values for row_id i, one per layout column.
+func BuildStore(name string, key *paillier.Key, layout Layout, rows [][]int64) (*Store, error) {
+	s := &Store{Name: name, Key: key, Layout: layout, NumRows: len(rows)}
+	for start := 0; start < len(rows); start += layout.RowsPerCipher {
+		end := start + layout.RowsPerCipher
+		if end > len(rows) {
+			end = len(rows)
+		}
+		m, err := layout.Pack(rows[start:end])
+		if err != nil {
+			return nil, err
+		}
+		c, err := key.Encrypt(m)
+		if err != nil {
+			return nil, err
+		}
+		s.Ciphers = append(s.Ciphers, c)
+	}
+	return s, nil
+}
+
+// PackIndex returns which ciphertext holds a row and the row's offset
+// within the pack.
+func (s *Store) PackIndex(rowID int) (pack, offset int) {
+	return rowID / s.Layout.RowsPerCipher, rowID % s.Layout.RowsPerCipher
+}
+
+// RowsInPack returns how many real rows pack p holds (the final pack may be
+// short).
+func (s *Store) RowsInPack(p int) int {
+	start := p * s.Layout.RowsPerCipher
+	n := s.NumRows - start
+	if n > s.Layout.RowsPerCipher {
+		n = s.Layout.RowsPerCipher
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// CipherBytes is the serialized size of one ciphertext.
+func (s *Store) CipherBytes() int { return s.Key.CiphertextSize() }
+
+// Bytes is the total size of the ciphertext file, for space accounting.
+func (s *Store) Bytes() int64 { return int64(len(s.Ciphers)) * int64(s.CipherBytes()) }

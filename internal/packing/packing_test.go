@@ -1,0 +1,277 @@
+package packing
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto/paillier"
+)
+
+const testKeyBits = 256
+
+func testKey(t testing.TB) *paillier.Key {
+	t.Helper()
+	k, err := paillier.GenerateKey(testKeyBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func twoColLayout(t *testing.T, plainBits int, multiRow bool) Layout {
+	t.Helper()
+	l, err := NewLayout([]Col{{Name: "a", Bits: 20}, {Name: "b", Bits: 16}}, 8, plainBits, multiRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l := twoColLayout(t, 254, true)
+	if l.RowBits() != 20+8+16+8 {
+		t.Errorf("row bits = %d", l.RowBits())
+	}
+	if l.RowsPerCipher != 254/52 {
+		t.Errorf("rows per cipher = %d", l.RowsPerCipher)
+	}
+	single := twoColLayout(t, 254, false)
+	if single.RowsPerCipher != 1 {
+		t.Errorf("single-row layout rows = %d", single.RowsPerCipher)
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(nil, 8, 254, true); err == nil {
+		t.Error("empty layout should fail")
+	}
+	if _, err := NewLayout([]Col{{Name: "x", Bits: 300}}, 8, 254, true); err == nil {
+		t.Error("oversized row should fail")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	l := twoColLayout(t, 254, true)
+	rows := [][]int64{{100, 7}, {1 << 19, 1 << 15}, {0, 0}, {12345, 678}}
+	m, err := l.Pack(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l.Unpack(m)
+	for i, row := range rows {
+		for j, v := range row {
+			if got[i][j] != v {
+				t.Errorf("slot (%d,%d) = %d, want %d", i, j, got[i][j], v)
+			}
+		}
+	}
+	// rows beyond input are zero
+	for i := len(rows); i < l.RowsPerCipher; i++ {
+		if got[i][0] != 0 || got[i][1] != 0 {
+			t.Errorf("slot (%d,*) should be zero", i)
+		}
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	l := twoColLayout(t, 254, true)
+	if _, err := l.Pack([][]int64{{-1, 0}}); err == nil {
+		t.Error("negative value should fail")
+	}
+	if _, err := l.Pack([][]int64{{1 << 21, 0}}); err == nil {
+		t.Error("overflowing value should fail")
+	}
+	if _, err := l.Pack([][]int64{{1}}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	tooMany := make([][]int64, l.RowsPerCipher+1)
+	for i := range tooMany {
+		tooMany[i] = []int64{0, 0}
+	}
+	if _, err := l.Pack(tooMany); err == nil {
+		t.Error("too many rows should fail")
+	}
+}
+
+// Property: the arithmetic identity behind grouped homomorphic addition —
+// Pack(a) + Pack(b) unpacks to the per-slot sums, provided padding absorbs
+// the carries.
+func TestGroupedAdditionIdentityProperty(t *testing.T) {
+	l := twoColLayout(t, 254, true)
+	f := func(a0, a1, b0, b1 uint16) bool {
+		ma, err1 := l.Pack([][]int64{{int64(a0), int64(a1 % 1 << 15)}})
+		mb, err2 := l.Pack([][]int64{{int64(b0), int64(b1 % 1 << 15)}})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum := new(big.Int).Add(ma, mb)
+		got := l.Unpack(sum)
+		return got[0][0] == int64(a0)+int64(b0) && got[0][1] == int64(a1%1<<15)+int64(b1%1<<15)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreGeometry(t *testing.T) {
+	key := testKey(t)
+	l := twoColLayout(t, key.PlaintextBits(), true)
+	rows := make([][]int64, 11)
+	for i := range rows {
+		rows[i] = []int64{int64(i), int64(i * 2)}
+	}
+	s, err := BuildStore("g", key, l, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPacks := (len(rows) + l.RowsPerCipher - 1) / l.RowsPerCipher
+	if len(s.Ciphers) != wantPacks {
+		t.Errorf("packs = %d, want %d", len(s.Ciphers), wantPacks)
+	}
+	if s.Bytes() != int64(wantPacks*key.CiphertextSize()) {
+		t.Errorf("bytes = %d", s.Bytes())
+	}
+	p, off := s.PackIndex(l.RowsPerCipher + 2)
+	if p != 1 || off != 2 {
+		t.Errorf("PackIndex = (%d,%d)", p, off)
+	}
+	if s.RowsInPack(wantPacks-1) != len(rows)-(wantPacks-1)*l.RowsPerCipher {
+		t.Errorf("last pack rows = %d", s.RowsInPack(wantPacks-1))
+	}
+}
+
+func TestHomSumFullAndPartialPacks(t *testing.T) {
+	key := testKey(t)
+	l := twoColLayout(t, key.PlaintextBits(), true)
+	n := l.RowsPerCipher*2 + 3 // two full packs plus a short one
+	rows := make([][]int64, n)
+	var wantA, wantB int64
+	for i := range rows {
+		rows[i] = []int64{int64(i + 1), int64(2 * (i + 1))}
+	}
+	s, err := BuildStore("g", key, l, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Select all of pack 0, half of pack 1, all of the short pack 2.
+	var ids []int
+	for i := 0; i < l.RowsPerCipher; i++ {
+		ids = append(ids, i)
+	}
+	for i := l.RowsPerCipher; i < l.RowsPerCipher+l.RowsPerCipher/2; i++ {
+		ids = append(ids, i)
+	}
+	for i := 2 * l.RowsPerCipher; i < n; i++ {
+		ids = append(ids, i)
+	}
+	for _, id := range ids {
+		wantA += rows[id][0]
+		wantB += rows[id][1]
+	}
+
+	res, err := HomSum(s, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Product == nil {
+		t.Fatal("expected a product of fully-matched packs")
+	}
+	if len(res.Partials) != 1 {
+		t.Fatalf("partials = %d, want 1", len(res.Partials))
+	}
+	if res.MulOps != 1 { // two full packs -> one multiplication
+		t.Errorf("mul ops = %d, want 1", res.MulOps)
+	}
+
+	// Round trip through the wire format.
+	wire := res.Encode(s.CipherBytes())
+	decoded, err := DecodeSumResult(wire, s.CipherBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, decrypts, err := ClientSums(key, l, decoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != wantA || sums[1] != wantB {
+		t.Errorf("sums = %v, want [%d %d]", sums, wantA, wantB)
+	}
+	if decrypts != 2 { // product + one partial
+		t.Errorf("decrypts = %d, want 2", decrypts)
+	}
+}
+
+func TestHomSumPerRowDegenerate(t *testing.T) {
+	key := testKey(t)
+	l := twoColLayout(t, key.PlaintextBits(), false) // RowsPerCipher = 1
+	rows := [][]int64{{10, 1}, {20, 2}, {30, 3}}
+	s, err := BuildStore("g", key, l, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HomSum(s, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partials) != 0 {
+		t.Errorf("per-row packing should never be partial, got %d", len(res.Partials))
+	}
+	sums, _, err := ClientSums(key, l, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != 40 || sums[1] != 4 {
+		t.Errorf("sums = %v", sums)
+	}
+}
+
+func TestHomSumErrors(t *testing.T) {
+	key := testKey(t)
+	l := twoColLayout(t, key.PlaintextBits(), true)
+	s, err := BuildStore("g", key, l, [][]int64{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HomSum(s, []int{5}); err == nil {
+		t.Error("out-of-range row id should fail")
+	}
+	if _, err := HomSum(s, []int{0, 0}); err == nil {
+		t.Error("duplicate row id should fail")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeSumResult([]byte{1, 2}, 64); err == nil {
+		t.Error("truncated input should fail")
+	}
+	if _, err := DecodeSumResult([]byte{9, 0, 0, 0, 0, 0}, 64); err == nil {
+		t.Error("bad version should fail")
+	}
+	if _, err := DecodeSumResult([]byte{1, 1, 0, 0, 0, 0}, 64); err == nil {
+		t.Error("truncated product should fail")
+	}
+}
+
+func TestEmptyHomSum(t *testing.T) {
+	key := testKey(t)
+	l := twoColLayout(t, key.PlaintextBits(), true)
+	s, _ := BuildStore("g", key, l, [][]int64{{1, 1}})
+	res, err := HomSum(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := res.Encode(s.CipherBytes())
+	decoded, err := DecodeSumResult(wire, s.CipherBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, decrypts, err := ClientSums(key, l, decoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != 0 || sums[1] != 0 || decrypts != 0 {
+		t.Errorf("empty sum = %v, decrypts = %d", sums, decrypts)
+	}
+}

@@ -1,0 +1,309 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/enc"
+)
+
+// Plan generation — GENERATEQUERYPLAN (Algorithm 1). Given a prepared
+// query and a (trial) design, build the split execution plan:
+//
+//   - every WHERE conjunct that REWRITESERVER can translate moves into the
+//     RemoteSQL query; the rest stay in the client-side residual query and
+//     force their referenced columns into the fetch list (lines 6-13);
+//   - GROUP BY moves to the server when every key has a DET encryption and
+//     every aggregate has a server representation — PAILLIER_SUM, a
+//     server-side MIN/MAX over OPE, COUNT, or GROUP_CONCAT with a
+//     client-side fold (lines 14-31);
+//   - otherwise the server returns filtered raw rows and the client
+//     groups/aggregates locally;
+//   - subqueries that cannot be pushed are fetched by their own sub-plans
+//     and evaluated in the residual query (the recursion of line 2 /
+//     Figure 3's second RemoteSQL branch).
+
+// genState carries naming counters through one plan generation.
+type genState struct {
+	ctx     *Context
+	nTemp   int
+	used    *enc.Design // items actually used (BestSet accumulator)
+	failure error
+}
+
+func (g *genState) tempName() string {
+	n := fmt.Sprintf("r%d", g.nTemp)
+	g.nTemp++
+	return n
+}
+
+// note records that an item was used by the plan.
+func (g *genState) note(items ...*enc.Item) {
+	for _, it := range items {
+		if it != nil {
+			g.used.Add(*it)
+		}
+	}
+}
+
+// Generate builds a plan for a prepared query against ctx.Design.
+func (ctx *Context) Generate(q *ast.Query) (*Plan, error) {
+	g := &genState{ctx: ctx, used: &enc.Design{}}
+	plan, err := g.genQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	plan.UsedItems = g.used.Items
+	return plan, nil
+}
+
+// genQuery plans one query block.
+func (g *genState) genQuery(q *ast.Query) (*Plan, error) {
+	ctx := g.ctx
+	s, err := ctx.newScope(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Derived tables that survived flattening (grouped subqueries like
+	// Q17's avg-per-part) become subplans; their aliases resolve locally.
+	plan := &Plan{}
+	localOnly := make(map[string]bool) // FROM refs evaluated locally
+	aliasToTemp := make(map[string]string)
+	var remoteFrom []ast.TableRef
+	for i := range q.From {
+		f := &q.From[i]
+		if f.Sub != nil {
+			sub, err := g.genQuery(f.Sub)
+			if err != nil {
+				return nil, err
+			}
+			name := g.tempName()
+			plan.Subplans = append(plan.Subplans, &Subplan{Name: name, Plan: sub})
+			localOnly[f.RefName()] = true
+			aliasToTemp[f.RefName()] = name
+			continue
+		}
+		remoteFrom = append(remoteFrom, ast.TableRef{Name: f.Name, Alias: f.RefName()})
+	}
+
+	// Classify WHERE conjuncts: pushable to the server, or local.
+	var pushed []ast.Expr
+	var local []ast.Expr
+	for _, c := range ast.Conjuncts(q.Where) {
+		if touchesLocalRef(c, localOnly) || ast.HasSubquery(c) {
+			// Subquery predicates and predicates over local derived
+			// tables are evaluated client-side. (Fully-pushable EXISTS/IN
+			// are the exception, handled below.)
+			if !ast.HasSubquery(c) || touchesLocalRef(c, localOnly) {
+				local = append(local, c)
+				continue
+			}
+			if sc, ok := ctx.rewritePred(s, c); ok {
+				pushed = append(pushed, sc)
+				g.notePredItems(s, c)
+				continue
+			}
+			local = append(local, c)
+			continue
+		}
+		if sc, ok := ctx.rewritePred(s, c); ok {
+			pushed = append(pushed, sc)
+			g.notePredItems(s, c)
+			continue
+		}
+		local = append(local, c)
+	}
+
+	// Decide server vs. client grouping.
+	grouped := len(q.GroupBy) > 0 || len(queryAggregates(q).sums) > 0 ||
+		len(queryAggregates(q).minmax) > 0 || len(queryAggregates(q).counts) > 0 ||
+		hasAnyAggregate(q)
+	serverGroup := false
+	if grouped && len(local) == 0 && len(localOnly) == 0 {
+		serverGroup = g.canServerGroup(s, q)
+	}
+
+	if serverGroup {
+		return g.genServerGrouped(plan, s, q, remoteFrom, pushed)
+	}
+	return g.genClientResidual(plan, s, q, remoteFrom, pushed, local, aliasToTemp, localOnly)
+}
+
+// hasAnyAggregate reports whether the query needs an aggregation phase.
+func hasAnyAggregate(q *ast.Query) bool {
+	for _, p := range q.Projections {
+		if ast.HasAggregate(p.Expr) {
+			return true
+		}
+	}
+	return q.Having != nil || len(q.GroupBy) > 0
+}
+
+// touchesLocalRef reports whether an expression references a FROM entry
+// that is evaluated locally (derived-table subplan).
+func touchesLocalRef(e ast.Expr, localOnly map[string]bool) bool {
+	if len(localOnly) == 0 {
+		return false
+	}
+	found := false
+	ast.Walk(e, func(x ast.Expr) {
+		if c, ok := x.(*ast.ColumnRef); ok && c.Table != "" && localOnly[c.Table] {
+			found = true
+		}
+	})
+	return found
+}
+
+// notePredItems records the items a pushed predicate used (re-running the
+// candidate collector; the rewrite itself already validated feasibility).
+func (g *genState) notePredItems(s *scope, c ast.Expr) {
+	if items, ok := g.ctx.candidatePred(s, c); ok {
+		for i := range items {
+			g.note(&items[i])
+		}
+	}
+}
+
+// canServerGroup checks Algorithm 1's lines 14-21: every GROUP BY key has
+// a DET form and every aggregate has a server representation.
+func (g *genState) canServerGroup(s *scope, q *ast.Query) bool {
+	ctx := g.ctx
+	for _, k := range q.GroupBy {
+		if _, _, ok := ctx.rewriteValue(s, k, enc.DET); !ok {
+			return false
+		}
+	}
+	aggs := queryAggregates(q)
+	for _, a := range aggs.sums {
+		if _, ok := g.sumRepresentation(s, a); !ok {
+			return false
+		}
+	}
+	for _, a := range aggs.minmax {
+		if _, _, ok := ctx.rewriteValue(s, a.Arg, enc.OPE); !ok {
+			// MIN/MAX can also ride GROUP_CONCAT if a decryptable form
+			// exists.
+			if _, _, ok := ctx.rewriteValue(s, a.Arg, anySchemes...); !ok {
+				return false
+			}
+		}
+	}
+	for _, a := range aggs.counts {
+		if a.Star {
+			continue
+		}
+		if a.Distinct {
+			if _, _, ok := ctx.rewriteValue(s, a.Arg, enc.DET); !ok {
+				return false
+			}
+			continue
+		}
+		if _, _, ok := ctx.rewriteValue(s, a.Arg, anySchemes...); !ok {
+			return false
+		}
+	}
+	// Non-aggregate projection/having/order expressions must be functions
+	// of the group keys.
+	keySQL := make(map[string]bool)
+	for _, k := range q.GroupBy {
+		keySQL[k.SQL()] = true
+	}
+	check := func(e ast.Expr) bool { return coveredByKeys(e, keySQL) }
+	for _, p := range q.Projections {
+		if !check(p.Expr) {
+			return false
+		}
+	}
+	if q.Having != nil && !check(q.Having) {
+		return false
+	}
+	for _, o := range q.OrderBy {
+		if !check(o.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// coveredByKeys reports whether every column reference in e sits beneath a
+// group key or inside an aggregate.
+func coveredByKeys(e ast.Expr, keySQL map[string]bool) bool {
+	if e == nil {
+		return true
+	}
+	if keySQL[e.SQL()] {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.ColumnRef:
+		return false
+	case *ast.AggExpr:
+		return true
+	case *ast.SubqueryExpr, *ast.ExistsExpr:
+		return true // subqueries are evaluated locally with their own scope
+	case *ast.InExpr:
+		if !coveredByKeys(x.E, keySQL) {
+			return false
+		}
+		for _, l := range x.List {
+			if !coveredByKeys(l, keySQL) {
+				return false
+			}
+		}
+		return true
+	}
+	ok := true
+	ast.VisitChildren(e, func(c ast.Expr) {
+		if !coveredByKeys(c, keySQL) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// sumRep describes how one SUM aggregate runs on the server.
+type sumRep struct {
+	mode     OutputMode // OutHomSum, OutConcatAgg, or OutPlain (const sums)
+	arg      ast.Expr   // unwrapped argument (single-table expression)
+	cond     ast.Expr   // optional rewritten condition (conditional sums)
+	item     *enc.Item  // HOM item (homsum) or decryptable item (concat)
+	homTable string
+	entryRef string // FROM alias owning the argument
+}
+
+// sumRepresentation chooses the server form of SUM(a): grouped homomorphic
+// addition when a HOM item is available; GROUP_CONCAT of a decryptable
+// encryption otherwise; and plain server arithmetic for constant summands
+// (SUM(CASE WHEN p THEN 1 ELSE 0 END) is a conditional count — the count
+// is no more revealing than COUNT(*)).
+func (g *genState) sumRepresentation(s *scope, a *ast.AggExpr) (*sumRep, bool) {
+	ctx := g.ctx
+	arg := a.Arg
+	var cond ast.Expr
+	if e, p := caseSumShape(arg); e != nil {
+		pc, ok := ctx.rewritePred(s, p)
+		if !ok {
+			return nil, false
+		}
+		cond = pc
+		arg = e
+		g.notePredItems(s, p)
+	}
+	if lit, ok := arg.(*ast.Literal); ok && lit.Val.IsNumeric() {
+		return &sumRep{mode: OutPlain, arg: arg, cond: cond}, true
+	}
+	entry := s.singleEntry(arg)
+	if entry == nil {
+		return nil, false
+	}
+	if it, ok := ctx.findItem(entry.table, arg, enc.HOM); ok {
+		g.note(it)
+		return &sumRep{mode: OutHomSum, arg: arg, cond: cond, item: it, homTable: entry.table, entryRef: entry.ref}, true
+	}
+	if _, it, ok := ctx.rewriteValue(s, arg, enc.DET, enc.RND); ok {
+		g.note(it)
+		return &sumRep{mode: OutConcatAgg, arg: arg, cond: cond, item: it, entryRef: entry.ref}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,793 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+)
+
+// genClientResidual builds the plan when part of the query must run on the
+// client: the RemoteSQL fetches the (filtered, joined) encrypted rows the
+// residual needs, and the client decrypts them and runs the rest of the
+// query — local filters, grouping, HAVING, ORDER BY — over the temp table
+// (Algorithm 1 lines 27-44).
+func (g *genState) genClientResidual(plan *Plan, s *scope, q *ast.Query,
+	remoteFrom []ast.TableRef, pushed []ast.Expr, local []ast.Expr,
+	aliasToTemp map[string]string, localOnly map[string]bool) (*Plan, error) {
+
+	main := make(map[*scopeEntry]bool)
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.table != "" && !localOnly[e.ref] {
+			main[e] = true
+		}
+	}
+
+	// Columns the residual needs from the main fetch.
+	needed := make(map[string][2]string) // "ref__col" -> (ref, col)
+	note := func(entry *scopeEntry, col string) {
+		if main[entry] {
+			needed[entry.ref+"__"+col] = [2]string{entry.ref, col}
+		}
+	}
+	for _, p := range q.Projections {
+		collectRefs(g.ctx, p.Expr, s, note)
+	}
+	for _, k := range q.GroupBy {
+		collectRefs(g.ctx, k, s, note)
+	}
+	collectRefs(g.ctx, q.Having, s, note)
+	for _, o := range q.OrderBy {
+		collectRefs(g.ctx, o.Expr, s, note)
+	}
+	for _, c := range local {
+		collectRefs(g.ctx, c, s, note)
+	}
+
+	// A query over only derived tables (all subplans) has no main fetch.
+	if len(remoteFrom) == 0 {
+		return g.finishResidualLocalOnly(plan, s, q, local, aliasToTemp, main)
+	}
+
+	// Main RemoteSQL: join + pushed filters, projecting the needed columns.
+	remote := ast.NewQuery()
+	remote.From = remoteFrom
+	remote.Where = ast.AndAll(pushed)
+	part := &RemotePart{Name: g.tempName(), Query: remote}
+	names := make([]string, 0, len(needed))
+	for n := range needed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rc := needed[n]
+		colExpr := &ast.ColumnRef{Table: rc[0], Column: rc[1]}
+		sv, it, ok := g.ctx.rewriteValue(s, colExpr, anySchemes...)
+		if !ok {
+			return nil, fmt.Errorf("planner: no decryptable encryption of %s.%s", rc[0], rc[1])
+		}
+		g.note(it)
+		remote.Projections = append(remote.Projections, ast.SelectItem{Expr: sv, Alias: n})
+		part.Outputs = append(part.Outputs, Output{Name: n, Mode: OutDecrypt, Item: it, Kind: it.PlainKind})
+	}
+	if len(remote.Projections) == 0 {
+		// Residual references no main columns (e.g. SELECT COUNT(*) with
+		// all filters pushed): fetch some column so rows can be counted.
+		for i := range s.entries {
+			en := &s.entries[i]
+			if !main[en] || len(en.info.Cols) == 0 {
+				continue
+			}
+			col := en.info.Cols[0].Name
+			sv, it, ok := g.ctx.rewriteValue(s, &ast.ColumnRef{Table: en.ref, Column: col}, anySchemes...)
+			if !ok {
+				continue
+			}
+			g.note(it)
+			name := en.ref + "__" + col
+			remote.Projections = append(remote.Projections, ast.SelectItem{Expr: sv, Alias: name})
+			part.Outputs = append(part.Outputs, Output{Name: name, Mode: OutDecrypt, Item: it, Kind: it.PlainKind})
+			break
+		}
+		if len(remote.Projections) == 0 {
+			return nil, fmt.Errorf("planner: residual plan needs at least one fetched column")
+		}
+	}
+	plan.Remote = part
+
+	// Build the residual local query.
+	lq := ast.NewQuery()
+	lq.From = []ast.TableRef{{Name: part.Name}}
+	for ref, temp := range aliasToTemp {
+		lq.From = append(lq.From, ast.TableRef{Name: temp, Alias: ref})
+	}
+	lq.Distinct = q.Distinct
+	lq.Limit = q.Limit
+	var err error
+	for _, p := range q.Projections {
+		e, terr := g.transformLocalExpr(plan, p.Expr, s, main)
+		if terr != nil {
+			return nil, terr
+		}
+		lq.Projections = append(lq.Projections, ast.SelectItem{Expr: e, Alias: p.Alias})
+	}
+	var localT []ast.Expr
+	for _, c := range local {
+		e, terr := g.transformLocalExpr(plan, c, s, main)
+		if terr != nil {
+			return nil, terr
+		}
+		localT = append(localT, e)
+	}
+	lq.Where = ast.AndAll(localT)
+	for _, k := range q.GroupBy {
+		e, terr := g.transformLocalExpr(plan, k, s, main)
+		if terr != nil {
+			return nil, terr
+		}
+		lq.GroupBy = append(lq.GroupBy, e)
+	}
+	if q.Having != nil {
+		lq.Having, err = g.transformLocalExpr(plan, q.Having, s, main)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range q.OrderBy {
+		e, terr := g.transformLocalExpr(plan, o.Expr, s, main)
+		if terr != nil {
+			return nil, terr
+		}
+		lq.OrderBy = append(lq.OrderBy, ast.OrderItem{Expr: e, Desc: o.Desc})
+	}
+	plan.Local = lq
+	return plan, nil
+}
+
+// finishResidualLocalOnly builds the residual query when every FROM entry
+// is a locally-materialized derived table.
+func (g *genState) finishResidualLocalOnly(plan *Plan, s *scope, q *ast.Query,
+	local []ast.Expr, aliasToTemp map[string]string, main map[*scopeEntry]bool) (*Plan, error) {
+	lq := ast.NewQuery()
+	for ref, temp := range aliasToTemp {
+		lq.From = append(lq.From, ast.TableRef{Name: temp, Alias: ref})
+	}
+	lq.Distinct = q.Distinct
+	lq.Limit = q.Limit
+	for _, p := range q.Projections {
+		e, err := g.transformLocalExpr(plan, p.Expr, s, main)
+		if err != nil {
+			return nil, err
+		}
+		lq.Projections = append(lq.Projections, ast.SelectItem{Expr: e, Alias: p.Alias})
+	}
+	var localT []ast.Expr
+	for _, c := range local {
+		e, err := g.transformLocalExpr(plan, c, s, main)
+		if err != nil {
+			return nil, err
+		}
+		localT = append(localT, e)
+	}
+	lq.Where = ast.AndAll(localT)
+	for _, k := range q.GroupBy {
+		e, err := g.transformLocalExpr(plan, k, s, main)
+		if err != nil {
+			return nil, err
+		}
+		lq.GroupBy = append(lq.GroupBy, e)
+	}
+	if q.Having != nil {
+		h, err := g.transformLocalExpr(plan, q.Having, s, main)
+		if err != nil {
+			return nil, err
+		}
+		lq.Having = h
+	}
+	for _, o := range q.OrderBy {
+		e, err := g.transformLocalExpr(plan, o.Expr, s, main)
+		if err != nil {
+			return nil, err
+		}
+		lq.OrderBy = append(lq.OrderBy, ast.OrderItem{Expr: e, Desc: o.Desc})
+	}
+	plan.Local = lq
+	return plan, nil
+}
+
+// collectRefs walks an expression (descending into subqueries with chained
+// scopes) and reports every column reference with its resolved entry.
+func collectRefs(ctx *Context, e ast.Expr, s *scope, fn func(*scopeEntry, string)) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.ColumnRef:
+		if x.Column == "*" {
+			return
+		}
+		if entry, ok := s.entryFor(x); ok {
+			fn(entry, x.Column)
+		}
+		return
+	case *ast.SubqueryExpr:
+		collectQueryRefs(ctx, x.Sub, s, fn)
+		return
+	case *ast.ExistsExpr:
+		collectQueryRefs(ctx, x.Sub, s, fn)
+		return
+	case *ast.InExpr:
+		collectRefs(ctx, x.E, s, fn)
+		for _, l := range x.List {
+			collectRefs(ctx, l, s, fn)
+		}
+		if x.Sub != nil {
+			collectQueryRefs(ctx, x.Sub, s, fn)
+		}
+		return
+	}
+	ast.VisitChildren(e, func(c ast.Expr) { collectRefs(ctx, c, s, fn) })
+}
+
+// collectQueryRefs applies collectRefs to every clause of a subquery, with
+// the subquery's scope chained over the enclosing one.
+func collectQueryRefs(ctx *Context, q *ast.Query, outer *scope, fn func(*scopeEntry, string)) {
+	inner, err := ctx.newScope(q)
+	if err != nil {
+		return
+	}
+	s := inner.chain(outer)
+	for _, p := range q.Projections {
+		collectRefs(ctx, p.Expr, s, fn)
+	}
+	collectRefs(ctx, q.Where, s, fn)
+	for _, k := range q.GroupBy {
+		collectRefs(ctx, k, s, fn)
+	}
+	collectRefs(ctx, q.Having, s, fn)
+	for _, o := range q.OrderBy {
+		collectRefs(ctx, o.Expr, s, fn)
+	}
+	for i := range q.From {
+		if q.From[i].Sub != nil {
+			collectQueryRefs(ctx, q.From[i].Sub, s, fn)
+		}
+	}
+}
+
+// transformLocalExpr rewrites an expression for the residual query:
+// references to main-fetch entries become `ref__col` temp columns, and
+// subqueries are localized (their base tables replaced by sub-fetch temps).
+func (g *genState) transformLocalExpr(plan *Plan, e ast.Expr, s *scope, main map[*scopeEntry]bool) (ast.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	switch x := e.(type) {
+	case *ast.ColumnRef:
+		if entry, ok := s.entryFor(x); ok && main[entry] {
+			return &ast.ColumnRef{Column: entry.ref + "__" + x.Column}, nil
+		}
+		return x.Clone(), nil
+	case *ast.SubqueryExpr:
+		sub, err := g.localizeSub(plan, x.Sub, s, main, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.SubqueryExpr{Sub: sub}, nil
+	case *ast.ExistsExpr:
+		sub, err := g.localizeSub(plan, x.Sub, s, main, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ExistsExpr{Sub: sub, Not: x.Not}, nil
+	case *ast.InExpr:
+		n := &ast.InExpr{Not: x.Not}
+		var err error
+		n.E, err = g.transformLocalExpr(plan, x.E, s, main)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range x.List {
+			le, err := g.transformLocalExpr(plan, l, s, main)
+			if err != nil {
+				return nil, err
+			}
+			n.List = append(n.List, le)
+		}
+		if x.Sub != nil {
+			n.Sub, err = g.localizeSub(plan, x.Sub, s, main, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	case *ast.BinaryExpr:
+		l, err := g.transformLocalExpr(plan, x.Left, s, main)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.transformLocalExpr(plan, x.Right, s, main)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinaryExpr{Op: x.Op, Left: l, Right: r}, nil
+	case *ast.UnaryExpr:
+		inner, err := g.transformLocalExpr(plan, x.E, s, main)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Neg: x.Neg, E: inner}, nil
+	case *ast.FuncCall:
+		n := &ast.FuncCall{Name: x.Name}
+		for _, a := range x.Args {
+			ae, err := g.transformLocalExpr(plan, a, s, main)
+			if err != nil {
+				return nil, err
+			}
+			n.Args = append(n.Args, ae)
+		}
+		return n, nil
+	case *ast.AggExpr:
+		if x.Arg == nil {
+			return x.Clone(), nil
+		}
+		arg, err := g.transformLocalExpr(plan, x.Arg, s, main)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AggExpr{Func: x.Func, Arg: arg, Distinct: x.Distinct}, nil
+	case *ast.CaseExpr:
+		n := &ast.CaseExpr{}
+		for _, w := range x.Whens {
+			c, err := g.transformLocalExpr(plan, w.Cond, s, main)
+			if err != nil {
+				return nil, err
+			}
+			t, err := g.transformLocalExpr(plan, w.Then, s, main)
+			if err != nil {
+				return nil, err
+			}
+			n.Whens = append(n.Whens, ast.CaseWhen{Cond: c, Then: t})
+		}
+		if x.Else != nil {
+			var err error
+			n.Else, err = g.transformLocalExpr(plan, x.Else, s, main)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	case *ast.BetweenExpr:
+		eE, err := g.transformLocalExpr(plan, x.E, s, main)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := g.transformLocalExpr(plan, x.Lo, s, main)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := g.transformLocalExpr(plan, x.Hi, s, main)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BetweenExpr{E: eE, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case *ast.LikeExpr:
+		inner, err := g.transformLocalExpr(plan, x.E, s, main)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.LikeExpr{E: inner, Pattern: x.Pattern, Not: x.Not}, nil
+	case *ast.IsNullExpr:
+		inner, err := g.transformLocalExpr(plan, x.E, s, main)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.IsNullExpr{E: inner, Not: x.Not}, nil
+	}
+	return e.Clone(), nil
+}
+
+// localizeSubqueries transforms the subqueries of a standalone expression
+// (used for HAVING under server grouping, where main refs are already
+// substituted by temp columns).
+func (g *genState) localizeSubqueries(plan *Plan, e ast.Expr, s *scope) (ast.Expr, error) {
+	return g.transformLocalExpr(plan, e, s, map[*scopeEntry]bool{})
+}
+
+// localizeSub plans the client-side evaluation of one subquery: its base
+// tables are fetched by sub-plans (with the server applying every
+// non-correlated predicate it can), and the subquery is rewritten to run
+// over the temp tables.
+func (g *genState) localizeSub(plan *Plan, sub *ast.Query, outer *scope, outerMain map[*scopeEntry]bool, outerRenames map[*scopeEntry]string) (*ast.Query, error) {
+	ctx := g.ctx
+
+	// An uncorrelated subquery is an independent query: recurse the whole
+	// of Algorithm 1 on it, so it gets its own split plan — server-side
+	// grouping, PAILLIER_SUM, and §5.4 pre-filtering included. This is how
+	// Q18's IN-subquery keeps its aggregation on the server.
+	if IsUncorrelated(ctx, sub) && (len(sub.GroupBy) > 0 || sub.Having != nil || hasAnyAggregate(sub)) {
+		subPlan, err := g.genQuery(sub)
+		if err == nil {
+			name := g.tempName()
+			plan.Subplans = append(plan.Subplans, &Subplan{Name: name, Plan: subPlan})
+			out := ast.NewQuery()
+			out.From = []ast.TableRef{{Name: name}}
+			for _, col := range planOutputCols(subPlan) {
+				out.Projections = append(out.Projections, ast.SelectItem{Expr: &ast.ColumnRef{Column: col}})
+			}
+			return out, nil
+		}
+	}
+
+	inner, err := ctx.newScope(sub)
+	if err != nil {
+		return nil, err
+	}
+	chained := inner.chain(outer)
+
+	// Nested derived tables inside locally-evaluated subqueries stay rare
+	// (TPC-H has none after flattening); plan them recursively.
+	for i := range sub.From {
+		if sub.From[i].Sub != nil {
+			return nil, fmt.Errorf("planner: derived table inside local subquery %s unsupported", sub.From[i].RefName())
+		}
+	}
+
+	// Partition the subquery's conjuncts: pushable into the fetch (only
+	// inner references, rewritable) vs. kept (correlated or unrewritable).
+	var pushed []ast.Expr
+	var kept []ast.Expr
+	var keptOrig []ast.Expr
+	for _, c := range ast.Conjuncts(sub.Where) {
+		if !ast.HasSubquery(c) {
+			if sc, ok := ctx.rewritePred(inner, c); ok { // unchained: outer refs fail
+				pushed = append(pushed, sc)
+				g.notePredItems(inner, c)
+				continue
+			}
+		}
+		keptOrig = append(keptOrig, c)
+	}
+
+	// Can the fetch include the join, or must tables ship separately?
+	jointJoin := true
+	for _, c := range keptOrig {
+		n := 0
+		seen := map[*scopeEntry]bool{}
+		collectRefs(ctx, c, chained, func(en *scopeEntry, col string) {
+			for i := range inner.entries {
+				if en == &inner.entries[i] && !seen[en] {
+					seen[en] = true
+					n++
+				}
+			}
+		})
+		if n >= 2 {
+			jointJoin = false // an unpushable inner join predicate
+		}
+	}
+
+	// Columns of the subquery's own tables that the local evaluation needs.
+	neededByEntry := make(map[*scopeEntry]map[string]bool)
+	isInner := func(en *scopeEntry) bool {
+		for i := range inner.entries {
+			if en == &inner.entries[i] {
+				return true
+			}
+		}
+		return false
+	}
+	note := func(en *scopeEntry, col string) {
+		if !isInner(en) {
+			return
+		}
+		m := neededByEntry[en]
+		if m == nil {
+			m = make(map[string]bool)
+			neededByEntry[en] = m
+		}
+		m[col] = true
+	}
+	for _, p := range sub.Projections {
+		collectRefs(ctx, p.Expr, chained, note)
+	}
+	for _, k := range sub.GroupBy {
+		collectRefs(ctx, k, chained, note)
+	}
+	collectRefs(ctx, sub.Having, chained, note)
+	for _, c := range keptOrig {
+		collectRefs(ctx, c, chained, note)
+	}
+
+	// Build the fetch(es).
+	out := ast.NewQuery()
+	// Renames seen by this subquery's body: its own fetched entries plus
+	// every enclosing localized subquery's renames (nested correlation).
+	renames := make(map[*scopeEntry]string, len(outerRenames)+2)
+	for k, v := range outerRenames {
+		renames[k] = v
+	}
+	if jointJoin && len(inner.entries) >= 1 {
+		remote := ast.NewQuery()
+		for i := range sub.From {
+			remote.From = append(remote.From, ast.TableRef{Name: sub.From[i].Name, Alias: sub.From[i].RefName()})
+		}
+		remote.Where = ast.AndAll(pushed)
+		part := &RemotePart{Name: g.tempName(), Query: remote}
+		var entryOrder []*scopeEntry
+		for i := range inner.entries {
+			entryOrder = append(entryOrder, &inner.entries[i])
+		}
+		added := 0
+		for _, en := range entryOrder {
+			cols := sortedKeys(neededByEntry[en])
+			for _, col := range cols {
+				sv, it, ok := ctx.rewriteValue(inner, &ast.ColumnRef{Table: en.ref, Column: col}, anySchemes...)
+				if !ok {
+					return nil, fmt.Errorf("planner: no decryptable encryption of %s.%s", en.ref, col)
+				}
+				g.note(it)
+				name := en.ref + "__" + col
+				remote.Projections = append(remote.Projections, ast.SelectItem{Expr: sv, Alias: name})
+				part.Outputs = append(part.Outputs, Output{Name: name, Mode: OutDecrypt, Item: it, Kind: it.PlainKind})
+				added++
+			}
+			renames[en] = en.ref + "__"
+		}
+		if added == 0 {
+			// EXISTS(SELECT 1 ...) needs at least one column to count rows.
+			en := entryOrder[0]
+			ti := en.info
+			col := ti.Cols[0].Name
+			sv, it, ok := ctx.rewriteValue(inner, &ast.ColumnRef{Table: en.ref, Column: col}, anySchemes...)
+			if !ok {
+				return nil, fmt.Errorf("planner: no decryptable encryption of %s.%s", en.ref, col)
+			}
+			g.note(it)
+			name := en.ref + "__" + col
+			remote.Projections = append(remote.Projections, ast.SelectItem{Expr: sv, Alias: name})
+			part.Outputs = append(part.Outputs, Output{Name: name, Mode: OutDecrypt, Item: it, Kind: it.PlainKind})
+		}
+		plan.Subplans = append(plan.Subplans, &Subplan{Name: part.Name, Plan: &Plan{Remote: part}})
+		out.From = []ast.TableRef{{Name: part.Name}}
+	} else {
+		// Per-table fetches; unpushable join predicates run locally.
+		for i := range inner.entries {
+			en := &inner.entries[i]
+			remote := ast.NewQuery()
+			remote.From = []ast.TableRef{{Name: en.table, Alias: en.ref}}
+			// Push the single-table subset of pushed conjuncts for this
+			// entry; re-derive from the originals for safety.
+			var tPush []ast.Expr
+			for _, c := range ast.Conjuncts(sub.Where) {
+				if ast.HasSubquery(c) {
+					continue
+				}
+				single := inner.singleEntry(c)
+				if single != en {
+					continue
+				}
+				if sc, ok := ctx.rewritePred(inner, c); ok {
+					tPush = append(tPush, sc)
+				}
+			}
+			remote.Where = ast.AndAll(tPush)
+			part := &RemotePart{Name: g.tempName(), Query: remote}
+			cols := sortedKeys(neededByEntry[en])
+			if len(cols) == 0 {
+				cols = []string{en.info.Cols[0].Name}
+			}
+			for _, col := range cols {
+				sv, it, ok := ctx.rewriteValue(inner, &ast.ColumnRef{Table: en.ref, Column: col}, anySchemes...)
+				if !ok {
+					return nil, fmt.Errorf("planner: no decryptable encryption of %s.%s", en.ref, col)
+				}
+				g.note(it)
+				name := en.ref + "__" + col
+				remote.Projections = append(remote.Projections, ast.SelectItem{Expr: sv, Alias: name})
+				part.Outputs = append(part.Outputs, Output{Name: name, Mode: OutDecrypt, Item: it, Kind: it.PlainKind})
+			}
+			plan.Subplans = append(plan.Subplans, &Subplan{Name: part.Name, Plan: &Plan{Remote: part}})
+			out.From = append(out.From, ast.TableRef{Name: part.Name, Alias: en.ref + "_f"})
+			renames[en] = en.ref + "__"
+			// Those conjuncts pushed per-table must not be re-kept.
+			_ = tPush
+		}
+		// Re-partition: with per-table fetches, multi-table pushed
+		// conjuncts were not pushed after all; keep them locally.
+		kept = kept[:0]
+		keptOrig = keptOrig[:0]
+		for _, c := range ast.Conjuncts(sub.Where) {
+			if ast.HasSubquery(c) {
+				keptOrig = append(keptOrig, c)
+				continue
+			}
+			single := inner.singleEntry(c)
+			if single != nil {
+				if _, ok := ctx.rewritePred(inner, c); ok {
+					continue // pushed per-table
+				}
+			}
+			keptOrig = append(keptOrig, c)
+		}
+	}
+
+	// Rewrite the subquery body over the temp table(s): inner refs take
+	// their ref__col names, outer-main refs take the outer renaming, and
+	// nested subqueries localize recursively.
+	renameFn := func(e ast.Expr) (ast.Expr, error) {
+		return g.transformLocalRenamed(plan, e, chained, outerMain, renames)
+	}
+	for _, p := range sub.Projections {
+		e, err := renameFn(p.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out.Projections = append(out.Projections, ast.SelectItem{Expr: e, Alias: p.Alias})
+	}
+	for _, c := range keptOrig {
+		e, err := renameFn(c)
+		if err != nil {
+			return nil, err
+		}
+		kept = append(kept, e)
+	}
+	out.Where = ast.AndAll(kept)
+	for _, k := range sub.GroupBy {
+		e, err := renameFn(k)
+		if err != nil {
+			return nil, err
+		}
+		out.GroupBy = append(out.GroupBy, e)
+	}
+	if sub.Having != nil {
+		h, err := renameFn(sub.Having)
+		if err != nil {
+			return nil, err
+		}
+		out.Having = h
+	}
+	for _, o := range sub.OrderBy {
+		e, err := renameFn(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out.OrderBy = append(out.OrderBy, ast.OrderItem{Expr: e, Desc: o.Desc})
+	}
+	out.Distinct = sub.Distinct
+	out.Limit = sub.Limit
+	return out, nil
+}
+
+// transformLocalRenamed is transformLocalExpr extended with per-entry
+// rename prefixes for a localized subquery's own tables.
+func (g *genState) transformLocalRenamed(plan *Plan, e ast.Expr, s *scope,
+	outerMain map[*scopeEntry]bool, renames map[*scopeEntry]string) (ast.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	switch x := e.(type) {
+	case *ast.ColumnRef:
+		if entry, ok := s.entryFor(x); ok {
+			if prefix, ok := renames[entry]; ok {
+				return &ast.ColumnRef{Column: prefix + x.Column}, nil
+			}
+			if outerMain[entry] {
+				return &ast.ColumnRef{Column: entry.ref + "__" + x.Column}, nil
+			}
+		}
+		return x.Clone(), nil
+	case *ast.SubqueryExpr:
+		sub, err := g.localizeSub(plan, x.Sub, s, outerMain, renames)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.SubqueryExpr{Sub: sub}, nil
+	case *ast.ExistsExpr:
+		sub, err := g.localizeSub(plan, x.Sub, s, outerMain, renames)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ExistsExpr{Sub: sub, Not: x.Not}, nil
+	case *ast.InExpr:
+		n := &ast.InExpr{Not: x.Not}
+		var err error
+		n.E, err = g.transformLocalRenamed(plan, x.E, s, outerMain, renames)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range x.List {
+			le, err := g.transformLocalRenamed(plan, l, s, outerMain, renames)
+			if err != nil {
+				return nil, err
+			}
+			n.List = append(n.List, le)
+		}
+		if x.Sub != nil {
+			n.Sub, err = g.localizeSub(plan, x.Sub, s, outerMain, renames)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	}
+	// Generic recursion via transformLocalExpr shape: rebuild children.
+	var firstErr error
+	out := ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+		if firstErr != nil {
+			return nil
+		}
+		switch c := x.(type) {
+		case *ast.ColumnRef:
+			if entry, ok := s.entryFor(c); ok {
+				if prefix, ok := renames[entry]; ok {
+					return &ast.ColumnRef{Column: prefix + c.Column}
+				}
+				if outerMain[entry] {
+					return &ast.ColumnRef{Column: entry.ref + "__" + c.Column}
+				}
+			}
+		case *ast.SubqueryExpr:
+			sub, err := g.localizeSub(plan, c.Sub, s, outerMain, renames)
+			if err != nil {
+				firstErr = err
+				return nil
+			}
+			return &ast.SubqueryExpr{Sub: sub}
+		case *ast.ExistsExpr:
+			sub, err := g.localizeSub(plan, c.Sub, s, outerMain, renames)
+			if err != nil {
+				firstErr = err
+				return nil
+			}
+			return &ast.ExistsExpr{Sub: sub, Not: c.Not}
+		case *ast.InExpr:
+			if c.Sub != nil {
+				sub, err := g.localizeSub(plan, c.Sub, s, outerMain, renames)
+				if err != nil {
+					firstErr = err
+					return nil
+				}
+				return &ast.InExpr{E: c.E, List: c.List, Sub: sub, Not: c.Not}
+			}
+		}
+		return nil
+	})
+	return out, firstErr
+}
+
+// planOutputCols derives the output column names of a completed plan.
+func planOutputCols(p *Plan) []string {
+	if p.Local != nil {
+		var out []string
+		for _, pr := range p.Local.Projections {
+			name := pr.Alias
+			if name == "" {
+				if cr, ok := pr.Expr.(*ast.ColumnRef); ok {
+					name = cr.Column
+				} else {
+					name = pr.Expr.SQL()
+				}
+			}
+			out = append(out, name)
+		}
+		return out
+	}
+	var out []string
+	if p.Remote != nil {
+		for _, o := range p.Remote.Outputs {
+			out = append(out, o.Name)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

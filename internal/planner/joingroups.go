@@ -1,0 +1,109 @@
+package planner
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+)
+
+// BuildJoinGroups infers which columns must share a DET key from the
+// workload's equi-join predicates (including correlation predicates inside
+// subqueries), via union-find over column identities. The designer feeds
+// the result into Context.JoinGroups; CryptDB's JOIN onions solved the same
+// problem by adjusting keys at query time.
+func BuildJoinGroups(ctx *Context, queries []*ast.Query) map[string]string {
+	parent := make(map[string]string)
+	var find func(x string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Deterministic root: lexicographic minimum.
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	var visitQuery func(q *ast.Query, outer *scope)
+	visitExpr := func(e ast.Expr, s *scope) {
+		ast.Walk(e, func(x ast.Expr) {
+			b, ok := x.(*ast.BinaryExpr)
+			if !ok || b.Op != ast.OpEq {
+				return
+			}
+			lcr, lok := b.Left.(*ast.ColumnRef)
+			rcr, rok := b.Right.(*ast.ColumnRef)
+			if !lok || !rok {
+				return
+			}
+			le, lok := s.entryFor(lcr)
+			re, rok := s.entryFor(rcr)
+			if !lok || !rok || le.table == "" || re.table == "" {
+				return
+			}
+			lid := le.table + "." + lcr.Column
+			rid := re.table + "." + rcr.Column
+			if lid != rid {
+				union(lid, rid)
+			}
+		})
+	}
+	visitQuery = func(q *ast.Query, outer *scope) {
+		inner, err := ctx.newScope(q)
+		if err != nil {
+			return
+		}
+		s := inner.chain(outer)
+		if q.Where != nil {
+			visitExpr(q.Where, s)
+			ast.Walk(q.Where, func(x ast.Expr) {
+				for _, sub := range ast.Subqueries(x) {
+					visitQuery(sub, s)
+				}
+			})
+		}
+		if q.Having != nil {
+			ast.Walk(q.Having, func(x ast.Expr) {
+				for _, sub := range ast.Subqueries(x) {
+					visitQuery(sub, s)
+				}
+			})
+		}
+		for i := range q.From {
+			if q.From[i].Sub != nil {
+				visitQuery(q.From[i].Sub, s)
+			}
+		}
+	}
+	for _, q := range queries {
+		visitQuery(q, nil)
+	}
+
+	// Collapse to root names; only multi-member groups matter.
+	members := make(map[string][]string)
+	for x := range parent {
+		members[find(x)] = append(members[find(x)], x)
+	}
+	out := make(map[string]string)
+	for root, ms := range members {
+		if len(ms) < 2 {
+			continue
+		}
+		sort.Strings(ms)
+		for _, m := range ms {
+			out[m] = root
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Preparation passes run before planning:
+//
+//  1. bind query parameters to literal values (the runtime planner plans
+//     per-execution, so parameter values are known — the paper's planner
+//     likewise sees the concrete query),
+//  2. fold constant arithmetic (date '1994-01-01' + interval '1' year
+//     becomes a date literal the rewriter can encrypt),
+//  3. rewrite AVG(x) into SUM(x)/COUNT(*) so a HOM sum plus a plain count
+//     covers averages,
+//  4. flatten simple derived tables (the SELECT-only wrappers TPC-H Q7/8/9
+//     use) into the parent query.
+
+// Prepare applies all passes, returning a transformed clone.
+func Prepare(q *ast.Query, params map[string]value.Value) (*ast.Query, error) {
+	out := q.Clone()
+	if err := bindParams(out, params); err != nil {
+		return nil, err
+	}
+	mapQueryExprs(out, foldConstants)
+	mapQueryExprs(out, rewriteAvg)
+	if err := flattenDerived(out); err != nil {
+		return nil, err
+	}
+	resolveAliases(out)
+	return out, nil
+}
+
+// resolveAliases inlines SELECT-list aliases referenced from HAVING and
+// ORDER BY (e.g. ORDER BY revenue DESC), so the planner reasons about the
+// underlying expressions. Applied per block, recursively.
+func resolveAliases(q *ast.Query) {
+	aliases := make(map[string]ast.Expr)
+	for _, p := range q.Projections {
+		if p.Alias == "" {
+			continue
+		}
+		if cr, ok := p.Expr.(*ast.ColumnRef); ok && cr.Column == p.Alias {
+			continue
+		}
+		aliases[p.Alias] = p.Expr
+	}
+	subst := func(e ast.Expr) ast.Expr {
+		return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+			if cr, ok := x.(*ast.ColumnRef); ok && cr.Table == "" {
+				if repl, ok := aliases[cr.Column]; ok {
+					return repl.Clone()
+				}
+			}
+			return nil
+		})
+	}
+	if len(aliases) > 0 {
+		if q.Having != nil {
+			q.Having = subst(q.Having)
+		}
+		for i := range q.OrderBy {
+			q.OrderBy[i].Expr = subst(q.OrderBy[i].Expr)
+		}
+	}
+	for i := range q.From {
+		if q.From[i].Sub != nil {
+			resolveAliases(q.From[i].Sub)
+		}
+	}
+	visit := func(e ast.Expr) {
+		ast.Walk(e, func(x ast.Expr) {
+			for _, s := range ast.Subqueries(x) {
+				resolveAliases(s)
+			}
+		})
+	}
+	for _, p := range q.Projections {
+		visit(p.Expr)
+	}
+	if q.Where != nil {
+		visit(q.Where)
+	}
+	if q.Having != nil {
+		visit(q.Having)
+	}
+}
+
+// mapQueryExprs rewrites every expression of q (and nested subqueries) with
+// fn.
+func mapQueryExprs(q *ast.Query, fn func(ast.Expr) ast.Expr) {
+	rewrite := func(e ast.Expr) ast.Expr {
+		if e == nil {
+			return nil
+		}
+		return fn(e)
+	}
+	for i := range q.Projections {
+		q.Projections[i].Expr = rewrite(q.Projections[i].Expr)
+	}
+	q.Where = rewrite(q.Where)
+	for i := range q.GroupBy {
+		q.GroupBy[i] = rewrite(q.GroupBy[i])
+	}
+	q.Having = rewrite(q.Having)
+	for i := range q.OrderBy {
+		q.OrderBy[i].Expr = rewrite(q.OrderBy[i].Expr)
+	}
+	for i := range q.From {
+		if q.From[i].Sub != nil {
+			mapQueryExprs(q.From[i].Sub, fn)
+		}
+	}
+	// Recurse into expression subqueries.
+	visit := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Walk(e, func(x ast.Expr) {
+			for _, s := range ast.Subqueries(x) {
+				mapQueryExprs(s, fn)
+			}
+		})
+	}
+	for _, p := range q.Projections {
+		visit(p.Expr)
+	}
+	visit(q.Where)
+	visit(q.Having)
+}
+
+// bindParams replaces Param nodes with literal values.
+func bindParams(q *ast.Query, params map[string]value.Value) error {
+	var missing error
+	mapQueryExprs(q, func(e ast.Expr) ast.Expr {
+		return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+			if p, ok := x.(*ast.Param); ok {
+				if v, ok := params[p.Name]; ok {
+					return &ast.Literal{Val: v}
+				}
+				if missing == nil {
+					missing = fmt.Errorf("planner: unbound parameter :%s", p.Name)
+				}
+			}
+			return nil
+		})
+	})
+	return missing
+}
+
+// foldConstants evaluates constant subexpressions bottom-up.
+func foldConstants(e ast.Expr) ast.Expr {
+	return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+		switch n := x.(type) {
+		case *ast.BinaryExpr:
+			// date ± interval with a literal date folds to a date literal.
+			if iv, ok := n.Right.(*ast.IntervalExpr); ok && (n.Op == ast.OpAdd || n.Op == ast.OpSub) {
+				if l, ok := n.Left.(*ast.Literal); ok && (l.Val.K == value.Date || l.Val.K == value.Int) {
+					k := iv.N
+					if n.Op == ast.OpSub {
+						k = -k
+					}
+					return &ast.Literal{Val: value.NewDate(value.AddInterval(l.Val.AsInt(), k, iv.Unit))}
+				}
+				return nil
+			}
+			l, lok := n.Left.(*ast.Literal)
+			r, rok := n.Right.(*ast.Literal)
+			if !lok || !rok {
+				return nil
+			}
+			switch n.Op {
+			case ast.OpAdd:
+				return &ast.Literal{Val: value.Add(l.Val, r.Val)}
+			case ast.OpSub:
+				return &ast.Literal{Val: value.Sub(l.Val, r.Val)}
+			case ast.OpMul:
+				return &ast.Literal{Val: value.Mul(l.Val, r.Val)}
+			case ast.OpDiv:
+				return &ast.Literal{Val: value.Div(l.Val, r.Val)}
+			}
+			return nil
+		case *ast.UnaryExpr:
+			if !n.Neg {
+				return nil
+			}
+			if l, ok := n.E.(*ast.Literal); ok {
+				return &ast.Literal{Val: value.Neg(l.Val)}
+			}
+		}
+		return nil
+	})
+}
+
+// rewriteAvg lowers AVG(x) to SUM(x)/COUNT(*). Valid on NULL-free data
+// (TPC-H); it lets the planner cover averages with a HOM sum and a plain
+// count.
+func rewriteAvg(e ast.Expr) ast.Expr {
+	return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+		if a, ok := x.(*ast.AggExpr); ok && a.Func == ast.AggAvg && !a.Distinct {
+			return &ast.BinaryExpr{
+				Op:    ast.OpDiv,
+				Left:  &ast.AggExpr{Func: ast.AggSum, Arg: a.Arg},
+				Right: &ast.AggExpr{Func: ast.AggCount, Star: true},
+			}
+		}
+		return nil
+	})
+}
+
+// flattenDerived merges simple derived tables (projection/join/filter only)
+// into the parent query, substituting the subquery's projection expressions
+// for references to its output columns.
+func flattenDerived(q *ast.Query) error {
+	for i := 0; i < len(q.From); i++ {
+		f := q.From[i]
+		if f.Sub == nil {
+			continue
+		}
+		sub := f.Sub
+		if !flattenable(sub) {
+			continue
+		}
+		// alias -> projection expression
+		subs := make(map[string]ast.Expr)
+		for _, p := range sub.Projections {
+			name := p.Alias
+			if name == "" {
+				if cr, ok := p.Expr.(*ast.ColumnRef); ok {
+					name = cr.Column
+				} else {
+					return fmt.Errorf("planner: derived table %s has unnamed projection %s", f.RefName(), p.Expr.SQL())
+				}
+			}
+			subs[name] = p.Expr
+		}
+		alias := f.RefName()
+		replace := func(e ast.Expr) ast.Expr {
+			return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+				cr, ok := x.(*ast.ColumnRef)
+				if !ok {
+					return nil
+				}
+				if cr.Table != "" && cr.Table != alias {
+					return nil
+				}
+				if repl, ok := subs[cr.Column]; ok {
+					return repl.Clone()
+				}
+				return nil
+			})
+		}
+		mapQueryExprs(q, replace)
+		// Splice the subquery's FROM and WHERE into the parent.
+		newFrom := append([]ast.TableRef{}, q.From[:i]...)
+		newFrom = append(newFrom, sub.From...)
+		newFrom = append(newFrom, q.From[i+1:]...)
+		q.From = newFrom
+		q.Where = ast.AndAll([]ast.Expr{q.Where, sub.Where})
+		i += len(sub.From) - 1
+	}
+	return nil
+}
+
+// flattenable reports whether a derived table is a pure
+// select/project/join block.
+func flattenable(sub *ast.Query) bool {
+	if len(sub.GroupBy) > 0 || sub.Having != nil || sub.Distinct ||
+		sub.Limit >= 0 || len(sub.OrderBy) > 0 {
+		return false
+	}
+	for _, p := range sub.Projections {
+		if ast.HasAggregate(p.Expr) {
+			return false
+		}
+	}
+	for _, f := range sub.From {
+		if f.Sub != nil {
+			return false
+		}
+	}
+	return true
+}

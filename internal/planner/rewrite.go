@@ -1,0 +1,369 @@
+package planner
+
+import (
+	"repro/internal/ast"
+	"repro/internal/crypto/search"
+	"repro/internal/enc"
+	"repro/internal/value"
+)
+
+// patternWord extracts the keyword of a single-word LIKE pattern.
+func patternWord(pattern string) (string, bool) { return search.PatternWord(pattern) }
+
+// REWRITESERVER (Algorithm 1): translate plaintext expressions into
+// expressions over the encrypted schema that the untrusted server can
+// evaluate. Three modes mirror the paper's enctype argument:
+//
+//   - rewritePred   (enctype=PLAIN): predicates whose boolean result the
+//     server may learn — equality via DET, ranges via OPE, keyword LIKE via
+//     SEARCH, and whole single-table comparisons via precomputed DET
+//     booleans; EXISTS/IN subqueries recurse.
+//   - rewriteValue  (enctype=DET/OPE/ANY): value expressions that must
+//     arrive encrypted under a specific scheme (GROUP BY keys need DET;
+//     fetched projections accept ANY).
+//
+// All rewrites are conditional on the needed ⟨value, scheme⟩ items being
+// present in the design — the planner's unit enumeration toggles them.
+
+// chain links a scope to an enclosing one for correlated subqueries.
+func (s *scope) chain(parent *scope) *scope {
+	c := *s
+	c.parent = parent
+	return &c
+}
+
+// entryFor finds the scope entry resolving a column, walking outward.
+func (s *scope) entryFor(c *ast.ColumnRef) (*scopeEntry, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if c.Table != "" {
+			for i := range cur.entries {
+				if cur.entries[i].ref == c.Table {
+					return &cur.entries[i], cur.entries[i].info.Has(c.Column)
+				}
+			}
+			continue
+		}
+		for i := range cur.entries {
+			if cur.entries[i].info.Has(c.Column) {
+				return &cur.entries[i], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// singleEntry returns the one scope entry all of e's columns resolve to,
+// or nil (multi-table expressions, derived tables, no columns).
+func (s *scope) singleEntry(e ast.Expr) *scopeEntry {
+	var entry *scopeEntry
+	for _, c := range ast.Columns(e) {
+		en, ok := s.entryFor(c)
+		if !ok || en == nil || en.table == "" {
+			return nil
+		}
+		if entry != nil && entry != en {
+			return nil
+		}
+		entry = en
+	}
+	return entry
+}
+
+// encConst encrypts a constant under an item's key as a server literal.
+func (ctx *Context) encConst(it *enc.Item, v value.Value) (ast.Expr, bool) {
+	cv, err := ctx.Keys.EncryptValue(it, v)
+	if err != nil {
+		return nil, false
+	}
+	return &ast.Literal{Val: cv}, true
+}
+
+// constVal evaluates a constant expression (literals and folded
+// arithmetic); the planner folds constants before rewriting, so anything
+// still non-literal is not constant.
+func constVal(e ast.Expr) (value.Value, bool) {
+	if l, ok := e.(*ast.Literal); ok {
+		return l.Val, true
+	}
+	return value.Value{}, false
+}
+
+// rewriteValue rewrites a value expression to an encrypted column reference
+// under one of the preferred schemes (tried in order). Returns the server
+// expression and the item that encrypts it.
+func (ctx *Context) rewriteValue(s *scope, e ast.Expr, schemes ...enc.Scheme) (ast.Expr, *enc.Item, bool) {
+	entry := s.singleEntry(e)
+	if entry == nil {
+		return nil, nil, false
+	}
+	for _, scheme := range schemes {
+		if it, ok := ctx.findItem(entry.table, e, scheme); ok {
+			return &ast.ColumnRef{Table: entry.ref, Column: it.ColumnName()}, it, true
+		}
+	}
+	return nil, nil, false
+}
+
+// anySchemes is the fetch preference order: DET integers decrypt fastest,
+// then RND, then OPE (whose decryption replays a 48-step binary search).
+var anySchemes = []enc.Scheme{enc.DET, enc.RND, enc.OPE}
+
+// rewritePred rewrites a predicate for server evaluation (enctype=PLAIN).
+func (ctx *Context) rewritePred(s *scope, e ast.Expr) (ast.Expr, bool) {
+	switch x := e.(type) {
+	case *ast.Literal:
+		if x.Val.K == value.Bool {
+			return x.Clone(), true
+		}
+		return nil, false
+
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case ast.OpAnd, ast.OpOr:
+			l, ok := ctx.rewritePred(s, x.Left)
+			if !ok {
+				return nil, false
+			}
+			r, ok := ctx.rewritePred(s, x.Right)
+			if !ok {
+				return nil, false
+			}
+			return &ast.BinaryExpr{Op: x.Op, Left: l, Right: r}, true
+		case ast.OpEq, ast.OpNe:
+			if out, ok := ctx.rewriteCompare(s, x, enc.DET); ok {
+				return out, true
+			}
+			return ctx.rewriteWholePredicate(s, e)
+		case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+			if out, ok := ctx.rewriteCompare(s, x, enc.OPE); ok {
+				return out, true
+			}
+			return ctx.rewriteWholePredicate(s, e)
+		}
+		return nil, false
+
+	case *ast.UnaryExpr:
+		if x.Neg {
+			return nil, false
+		}
+		inner, ok := ctx.rewritePred(s, x.E)
+		if !ok {
+			return nil, false
+		}
+		return &ast.UnaryExpr{E: inner}, true
+
+	case *ast.BetweenExpr:
+		sv, it, ok := ctx.rewriteValue(s, x.E, enc.OPE)
+		if !ok {
+			return ctx.rewriteWholePredicate(s, e)
+		}
+		loV, ok1 := constVal(x.Lo)
+		hiV, ok2 := constVal(x.Hi)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		lo, ok1 := ctx.encConst(it, loV)
+		hi, ok2 := ctx.encConst(it, hiV)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return &ast.BetweenExpr{E: sv, Lo: lo, Hi: hi, Not: x.Not}, true
+
+	case *ast.InExpr:
+		if x.Sub != nil {
+			return ctx.rewriteInSubquery(s, x)
+		}
+		sv, it, ok := ctx.rewriteValue(s, x.E, enc.DET)
+		if !ok {
+			return nil, false
+		}
+		out := &ast.InExpr{E: sv, Not: x.Not}
+		for _, item := range x.List {
+			v, ok := constVal(item)
+			if !ok {
+				return nil, false
+			}
+			ev, ok := ctx.encConst(it, v)
+			if !ok {
+				return nil, false
+			}
+			out.List = append(out.List, ev)
+		}
+		return out, true
+
+	case *ast.LikeExpr:
+		return ctx.rewriteLike(s, x)
+
+	case *ast.IsNullExpr:
+		sv, _, ok := ctx.rewriteValue(s, x.E, anySchemes...)
+		if !ok {
+			return nil, false
+		}
+		return &ast.IsNullExpr{E: sv, Not: x.Not}, true
+
+	case *ast.ExistsExpr:
+		sub, ok := ctx.rewriteSubqueryServer(s, x.Sub, false)
+		if !ok {
+			return nil, false
+		}
+		return &ast.ExistsExpr{Sub: sub, Not: x.Not}, true
+	}
+	return nil, false
+}
+
+// rewriteCompare handles binary comparisons: column-vs-constant under the
+// column's item key, or column-vs-column when both sides share a key (DET
+// join groups make equi-join keys compatible, as CryptDB's JOIN onions do).
+func (ctx *Context) rewriteCompare(s *scope, x *ast.BinaryExpr, scheme enc.Scheme) (ast.Expr, bool) {
+	lv, lok := constVal(x.Left)
+	rv, rok := constVal(x.Right)
+	switch {
+	case lok && rok:
+		return nil, false // constant-only predicates are folded earlier
+	case rok: // expr OP const
+		sv, it, ok := ctx.rewriteValue(s, x.Left, scheme)
+		if !ok {
+			return nil, false
+		}
+		ev, ok := ctx.encConst(it, rv)
+		if !ok {
+			return nil, false
+		}
+		return &ast.BinaryExpr{Op: x.Op, Left: sv, Right: ev}, true
+	case lok: // const OP expr
+		sv, it, ok := ctx.rewriteValue(s, x.Right, scheme)
+		if !ok {
+			return nil, false
+		}
+		ev, ok := ctx.encConst(it, lv)
+		if !ok {
+			return nil, false
+		}
+		return &ast.BinaryExpr{Op: x.Op, Left: ev, Right: sv}, true
+	default: // expr OP expr: both sides must encrypt under the same key
+		lsv, lit, ok := ctx.rewriteValue(s, x.Left, scheme)
+		if !ok {
+			return nil, false
+		}
+		rsv, rit, ok := ctx.rewriteValue(s, x.Right, scheme)
+		if !ok {
+			return nil, false
+		}
+		if lit.KeyLabel() != rit.KeyLabel() {
+			return nil, false
+		}
+		return &ast.BinaryExpr{Op: x.Op, Left: lsv, Right: rsv}, true
+	}
+}
+
+// rewriteWholePredicate tries the per-row precomputation fallback (§5.1):
+// the entire single-table predicate is materialized as a DET-encrypted
+// boolean column, and the server filters on pc = Enc(true).
+func (ctx *Context) rewriteWholePredicate(s *scope, e ast.Expr) (ast.Expr, bool) {
+	entry := s.singleEntry(e)
+	if entry == nil {
+		return nil, false
+	}
+	it, ok := ctx.findItem(entry.table, e, enc.DET)
+	if !ok {
+		return nil, false
+	}
+	ev, ok := ctx.encConst(it, value.NewBool(true))
+	if !ok {
+		return nil, false
+	}
+	return &ast.BinaryExpr{
+		Op:    ast.OpEq,
+		Left:  &ast.ColumnRef{Table: entry.ref, Column: it.ColumnName()},
+		Right: ev,
+	}, true
+}
+
+// rewriteLike rewrites single-keyword LIKE via SEARCH_MATCH.
+func (ctx *Context) rewriteLike(s *scope, x *ast.LikeExpr) (ast.Expr, bool) {
+	word, ok := patternWord(x.Pattern)
+	if !ok {
+		return nil, false
+	}
+	sv, it, ok := ctx.rewriteValue(s, x.E, enc.SEARCH)
+	if !ok {
+		return nil, false
+	}
+	token := ctx.Keys.Search(it).Trapdoor(word)
+	call := &ast.FuncCall{Name: "search_match", Args: []ast.Expr{sv, &ast.Literal{Val: value.NewBytes(token)}}}
+	if x.Not {
+		return &ast.UnaryExpr{E: call}, true
+	}
+	return call, true
+}
+
+// rewriteInSubquery pushes `e IN (SELECT k FROM ...)` to the server when
+// the subquery is fully rewritable and both sides share a DET key.
+func (ctx *Context) rewriteInSubquery(s *scope, x *ast.InExpr) (ast.Expr, bool) {
+	sv, lit, ok := ctx.rewriteValue(s, x.E, enc.DET)
+	if !ok {
+		return nil, false
+	}
+	sub, projItem, ok := ctx.rewriteSubqueryProjection(s, x.Sub)
+	if !ok || projItem == nil || projItem.KeyLabel() != lit.KeyLabel() {
+		return nil, false
+	}
+	return &ast.InExpr{E: sv, Sub: sub, Not: x.Not}, true
+}
+
+// rewriteSubqueryServer rewrites a (possibly correlated) subquery so it can
+// run entirely on the server inside EXISTS. Correlated references resolve
+// against the enclosing scope's encrypted columns.
+func (ctx *Context) rewriteSubqueryServer(outer *scope, q *ast.Query, needProj bool) (*ast.Query, bool) {
+	if len(q.GroupBy) > 0 || q.Having != nil || len(q.OrderBy) > 0 || q.Distinct {
+		return nil, false
+	}
+	inner, err := ctx.newScope(q)
+	if err != nil {
+		return nil, false
+	}
+	for _, en := range inner.entries {
+		if en.table == "" {
+			return nil, false // derived tables do not push into EXISTS
+		}
+	}
+	s := inner.chain(outer)
+	out := ast.NewQuery()
+	for i := range q.From {
+		out.From = append(out.From, ast.TableRef{Name: q.From[i].Name, Alias: q.From[i].RefName()})
+	}
+	if q.Where != nil {
+		w, ok := ctx.rewritePred(s, q.Where)
+		if !ok {
+			return nil, false
+		}
+		out.Where = w
+	}
+	if !needProj {
+		out.Projections = []ast.SelectItem{{Expr: &ast.Literal{Val: value.NewInt(1)}}}
+	}
+	return out, true
+}
+
+// rewriteSubqueryProjection rewrites an IN-subquery: like
+// rewriteSubqueryServer but the single projection must be a DET item.
+func (ctx *Context) rewriteSubqueryProjection(outer *scope, q *ast.Query) (*ast.Query, *enc.Item, bool) {
+	if len(q.Projections) != 1 {
+		return nil, nil, false
+	}
+	out, ok := ctx.rewriteSubqueryServer(outer, q, true)
+	if !ok {
+		return nil, nil, false
+	}
+	inner, err := ctx.newScope(q)
+	if err != nil {
+		return nil, nil, false
+	}
+	s := inner.chain(outer)
+	sv, it, ok := ctx.rewriteValue(s, q.Projections[0].Expr, enc.DET)
+	if !ok {
+		return nil, nil, false
+	}
+	out.Projections = []ast.SelectItem{{Expr: sv}}
+	return out, it, true
+}

@@ -1,0 +1,162 @@
+// Package server is MONOMI's untrusted database server (Figure 1): an
+// unmodified DBMS (our internal/engine) hosting the encrypted tables and
+// ciphertext files, extended with the crypto UDFs that operate on
+// ciphertexts without any access to decryption keys:
+//
+//   - PAILLIER_SUM(group, row_id) — grouped homomorphic addition (§5.3):
+//     multiplies the packed Paillier ciphertexts of the matching rows.
+//   - GROUP_CONCAT(x) — the paper's GROUP() operator: concatenates a
+//     group's ciphertexts for client-side decryption and aggregation.
+//   - SEARCH_MATCH(blob, token) — SWP keyword match for LIKE '%word%'.
+//
+// The server never sees plaintext: everything it stores and computes on is
+// ciphertext, and the only key material it holds is the Paillier *public*
+// modulus needed for homomorphic multiplication.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/crypto/search"
+	"repro/internal/enc"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/packing"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// packingHomSum is packing.HomSum, indirected for clarity at the call site.
+func packingHomSum(store *packing.Store, rowIDs []int) (*packing.SumResult, error) {
+	return packing.HomSum(store, rowIDs)
+}
+
+// Server hosts one encrypted database.
+type Server struct {
+	DB     *enc.DB
+	Engine *engine.Engine
+	Cfg    netsim.Config
+}
+
+// New creates a server over an encrypted database.
+func New(db *enc.DB, cfg netsim.Config) *Server {
+	s := &Server{DB: db, Engine: engine.New(db.Cat), Cfg: cfg}
+	s.Engine.RegisterAgg("paillier_sum", s.newPaillierSum)
+	s.Engine.RegisterAgg("group_concat", newGroupConcat)
+	s.Engine.RegisterScalar("search_match", searchMatch)
+	return s
+}
+
+// Response carries an executed RemoteSQL result plus its simulated timings.
+type Response struct {
+	Result     *engine.Result
+	ServerTime time.Duration // simulated scan I/O + CPU + measured UDF time
+	WireBytes  int64         // result size on the wire
+}
+
+// Execute runs one RemoteSQL query over the encrypted data.
+func (s *Server) Execute(q *ast.Query, params map[string]value.Value) (*Response, error) {
+	res, err := s.Engine.Execute(q, params)
+	if err != nil {
+		return nil, err
+	}
+	st := res.Stats
+	serverTime := s.Cfg.ScanTime(st.BytesScanned+st.ExtraBytes) +
+		s.Cfg.RowTime(st.RowsScanned) +
+		time.Duration(st.UDFNanos)
+	return &Response{
+		Result:     res,
+		ServerTime: serverTime,
+		WireBytes:  res.Bytes(),
+	}, nil
+}
+
+// paillierSumState accumulates one group's row IDs for grouped homomorphic
+// addition; Result performs the modular multiplications.
+type paillierSumState struct {
+	srv     *Server
+	stats   *engine.Stats
+	group   string
+	rowIDs  []int
+	sawRows bool // some input row arrived, even if its row_id was NULL
+}
+
+func (s *Server) newPaillierSum(st *engine.Stats) engine.AggState {
+	return &paillierSumState{srv: s, stats: st}
+}
+
+// Add receives (group_name, row_id).
+func (p *paillierSumState) Add(args []value.Value) error {
+	if len(args) != 2 {
+		return fmt.Errorf("server: PAILLIER_SUM expects (group, row_id)")
+	}
+	if p.group == "" {
+		p.group = args[0].S
+	}
+	p.sawRows = true
+	if args[1].IsNull() {
+		// Conditional sums pass NULL for non-matching rows: the row
+		// exists (sum is 0, not NULL) but contributes nothing.
+		return nil
+	}
+	p.rowIDs = append(p.rowIDs, int(args[1].AsInt()))
+	return nil
+}
+
+// Result multiplies the matching ciphertexts and returns the wire blob.
+func (p *paillierSumState) Result() (value.Value, error) {
+	if p.group == "" || len(p.rowIDs) == 0 {
+		// No matching rows: an empty sum result — no product, no
+		// partials. SawRows tells the client whether the group was truly
+		// empty (SUM = NULL) or merely unmatched (conditional SUM = 0).
+		empty := &packing.SumResult{SawRows: p.sawRows}
+		return value.NewBytes(empty.Encode(0)), nil
+	}
+	store, ok := p.srv.DB.Stores[p.group]
+	if !ok {
+		return value.Value{}, fmt.Errorf("server: no ciphertext group %q", p.group)
+	}
+	start := time.Now()
+	res, err := packingHomSum(store, p.rowIDs)
+	if err != nil {
+		return value.Value{}, err
+	}
+	p.stats.UDFNanos += time.Since(start).Nanoseconds()
+	p.stats.ExtraBytes += res.ReadSize
+	return value.NewBytes(res.Encode(store.CipherBytes())), nil
+}
+
+// groupConcatState implements GROUP(): framed concatenation of a group's
+// values.
+type groupConcatState struct {
+	buf []byte
+}
+
+func newGroupConcat(st *engine.Stats) engine.AggState { return &groupConcatState{} }
+
+// Add appends one value.
+func (g *groupConcatState) Add(args []value.Value) error {
+	if len(args) != 1 {
+		return fmt.Errorf("server: GROUP_CONCAT expects 1 argument")
+	}
+	g.buf = wire.AppendValue(g.buf, args[0])
+	return nil
+}
+
+// Result returns the framed blob.
+func (g *groupConcatState) Result() (value.Value, error) {
+	return value.NewBytes(g.buf), nil
+}
+
+// searchMatch implements SEARCH_MATCH(blob, token).
+func searchMatch(st *engine.Stats, args []value.Value) (value.Value, error) {
+	if len(args) != 2 {
+		return value.Value{}, fmt.Errorf("server: SEARCH_MATCH expects (blob, token)")
+	}
+	if args[0].IsNull() || args[1].IsNull() {
+		return value.NewBool(false), nil
+	}
+	return value.NewBool(search.Match(args[0].B, args[1].B)), nil
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crypto/search"
+	"repro/internal/enc"
+	"repro/internal/netsim"
+	"repro/internal/packing"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// fixture builds a small encrypted DB with one HOM group and SEARCH blobs.
+func fixture(t *testing.T) (*Server, *enc.KeyStore) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	tbl, err := cat.Create(storage.Schema{
+		Name: "t",
+		Cols: []storage.Column{
+			{Name: "k", Type: storage.TInt},
+			{Name: "v", Type: storage.TInt},
+			{Name: "s", Type: storage.TStr},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"red widget", "green widget", "red gadget", "blue thing"}
+	for i := int64(0); i < 4; i++ {
+		tbl.MustInsert([]value.Value{value.NewInt(i % 2), value.NewInt((i + 1) * 10), value.NewStr(words[i])})
+	}
+	ks, err := enc.NewKeyStore([]byte("server-test"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design := &enc.Design{GroupedAddition: true, MultiRowPacking: false}
+	design.Add(enc.ColumnItem("t", "k", enc.DET, value.Int))
+	design.Add(enc.ColumnItem("t", "v", enc.HOM, value.Int))
+	design.Add(enc.ColumnItem("t", "s", enc.SEARCH, value.Str))
+	db, err := enc.EncryptDatabase(cat, design, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db, netsim.Default()), ks
+}
+
+func TestPaillierSumUDF(t *testing.T) {
+	srv, ks := fixture(t)
+	group := srv.DB.Meta["t"].Groups[0]
+	q := sqlparser.MustParse(
+		`SELECT k_det, paillier_sum('` + group.Name + `', row_id) FROM t GROUP BY k_det`)
+	resp, err := srv.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Rows) != 2 {
+		t.Fatalf("groups = %d", len(resp.Result.Rows))
+	}
+	total := int64(0)
+	for _, row := range resp.Result.Rows {
+		sum, decErr := packing.DecodeSumResult(row[1].B, ks.Paillier().CiphertextSize())
+		if decErr != nil {
+			t.Fatal(decErr)
+		}
+		sums, _, decErr2 := packing.ClientSums(ks.Paillier(), group.Layout, sum, nil)
+		if decErr2 != nil {
+			t.Fatal(decErr2)
+		}
+		total += sums[0]
+	}
+	if total != 10+20+30+40 {
+		t.Errorf("total = %d", total)
+	}
+	if resp.ServerTime <= 0 || resp.WireBytes <= 0 {
+		t.Error("timing accounting missing")
+	}
+}
+
+func TestPaillierSumUnknownGroup(t *testing.T) {
+	srv, _ := fixture(t)
+	q := sqlparser.MustParse(`SELECT paillier_sum('nope', row_id) FROM t`)
+	if _, err := srv.Execute(q, nil); err == nil || !strings.Contains(err.Error(), "no ciphertext group") {
+		t.Errorf("expected group error, got %v", err)
+	}
+}
+
+func TestGroupConcatUDF(t *testing.T) {
+	srv, _ := fixture(t)
+	q := sqlparser.MustParse(`SELECT k_det, group_concat(k_det) FROM t GROUP BY k_det`)
+	resp, err := srv.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range resp.Result.Rows {
+		vals, err := wire.DecodeAll(row[1].B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 2 {
+			t.Errorf("concat elements = %d, want 2 per group", len(vals))
+		}
+	}
+}
+
+func TestSearchMatchUDF(t *testing.T) {
+	srv, ks := fixture(t)
+	item := enc.ColumnItem("t", "s", enc.SEARCH, value.Str)
+	token := ks.Search(&item).Trapdoor("widget")
+	q := sqlparser.MustParse(`SELECT COUNT(*) FROM t WHERE search_match(s_srch, :1)`)
+	resp, err := srv.Execute(q, map[string]value.Value{"1": value.NewBytes(token)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Rows[0][0].AsInt() != 2 {
+		t.Errorf("widget matches = %v, want 2", resp.Result.Rows[0][0])
+	}
+	// Wrong-key token matches nothing.
+	other := search.MustNew(make([]byte, 16)).Trapdoor("widget")
+	resp, err = srv.Execute(q, map[string]value.Value{"1": value.NewBytes(other)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Rows[0][0].AsInt() != 0 {
+		t.Error("cross-key token must not match")
+	}
+}
+
+func TestEmptyConditionalSumSawRows(t *testing.T) {
+	srv, ks := fixture(t)
+	group := srv.DB.Meta["t"].Groups[0]
+	// Condition never matches: rows seen, zero matched.
+	q := sqlparser.MustParse(
+		`SELECT paillier_sum('` + group.Name + `', CASE WHEN k_det = 12345 THEN row_id ELSE NULL END) FROM t`)
+	resp, err := srv.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := packing.DecodeSumResult(resp.Result.Rows[0][0].B, ks.Paillier().CiphertextSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.SawRows || sum.Product != nil || len(sum.Partials) != 0 {
+		t.Errorf("conditional no-match should be empty-but-saw-rows: %+v", sum)
+	}
+}

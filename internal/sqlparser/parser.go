@@ -1,0 +1,806 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Parse parses a single SELECT statement into an AST.
+func Parse(src string) (*ast.Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSym && p.peek().text == ";" {
+		p.advance()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse parses src and panics on error; for fixtures and tests.
+func MustParse(src string) *ast.Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseExpr parses a standalone expression (used in tests and the designer's
+// workload-feature input).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) peek2() token { // token after next
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return token{kind: tokEOF}
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	pos := p.peek().pos
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("sql:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// kw reports whether the next token is the given keyword (already lowercase).
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == word
+}
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(word string) bool {
+	if p.kw(word) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expectKw consumes the keyword or fails.
+func (p *parser) expectKw(word string) error {
+	if !p.acceptKw(word) {
+		return p.errf("expected %s, found %q", strings.ToUpper(word), p.peek())
+	}
+	return nil
+}
+
+// sym reports whether the next token is the given symbol.
+func (p *parser) sym(s string) bool {
+	t := p.peek()
+	return t.kind == tokSym && t.text == s
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if p.sym(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, found %q", s, p.peek())
+	}
+	return nil
+}
+
+// reserved words that terminate an implicit alias.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "having": true,
+	"order": true, "limit": true, "and": true, "or": true, "not": true,
+	"in": true, "exists": true, "between": true, "like": true, "is": true,
+	"as": true, "on": true, "join": true, "inner": true, "left": true,
+	"case": true, "when": true, "then": true, "else": true, "end": true,
+	"distinct": true, "asc": true, "desc": true, "union": true, "by": true,
+	"null": true, "interval": true, "date": true, "true": true, "false": true,
+}
+
+func (p *parser) parseQuery() (*ast.Query, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	q := ast.NewQuery()
+	q.Distinct = p.acceptKw("distinct")
+
+	// projections
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ast.SelectItem{Expr: e}
+		if p.acceptKw("as") {
+			t := p.advance()
+			if t.kind != tokIdent {
+				return nil, p.errf("expected alias after AS")
+			}
+			item.Alias = t.text
+		} else if t := p.peek(); t.kind == tokIdent && !reserved[t.text] {
+			item.Alias = p.advance().text
+		}
+		q.Projections = append(q.Projections, item)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, ref)
+		// JOIN ... ON sugar: fold the ON predicate into WHERE.
+		for {
+			inner := p.acceptKw("inner")
+			if !p.acceptKw("join") {
+				if inner {
+					return nil, p.errf("expected JOIN after INNER")
+				}
+				break
+			}
+			r2, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			q.From = append(q.From, r2)
+			if p.acceptKw("on") {
+				cond, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				q.Where = ast.AndAll([]ast.Expr{q.Where, cond})
+			}
+		}
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = ast.AndAll([]ast.Expr{q.Where, e})
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Expr: e}
+			if p.acceptKw("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("limit") {
+		t := p.advance()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseTableRef() (ast.TableRef, error) {
+	var ref ast.TableRef
+	if p.acceptSym("(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return ref, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return ref, err
+		}
+		ref.Sub = sub
+	} else {
+		t := p.advance()
+		if t.kind != tokIdent {
+			return ref, p.errf("expected table name, found %q", t)
+		}
+		ref.Name = t.text
+	}
+	if p.acceptKw("as") {
+		t := p.advance()
+		if t.kind != tokIdent {
+			return ref, p.errf("expected alias after AS")
+		}
+		ref.Alias = t.text
+	} else if t := p.peek(); t.kind == tokIdent && !reserved[t.text] {
+		ref.Alias = p.advance().text
+	}
+	if ref.Sub != nil && ref.Alias == "" {
+		ref.Alias = "subquery"
+	}
+	return ref, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	predicate := additive ((=|<>|<|<=|>|>=) additive
+//	           | [NOT] BETWEEN additive AND additive
+//	           | [NOT] IN (...)
+//	           | [NOT] LIKE 'pat'
+//	           | IS [NOT] NULL)?
+//	additive := multiplicative ((+|-) multiplicative)*
+//	multiplicative := unary ((*|/) unary)*
+//	unary   := - unary | primary
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinaryExpr{Op: ast.OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("and") {
+		p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinaryExpr{Op: ast.OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.kw("not") && !(p.peek2().kind == tokIdent && p.peek2().text == "exists") {
+		p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]ast.BinOp{
+	"=": ast.OpEq, "<>": ast.OpNe, "<": ast.OpLt, "<=": ast.OpLe, ">": ast.OpGt, ">=": ast.OpGe,
+}
+
+func (p *parser) parsePredicate() (ast.Expr, error) {
+	// EXISTS / NOT EXISTS
+	if p.kw("exists") || (p.kw("not") && p.peek2().kind == tokIdent && p.peek2().text == "exists") {
+		not := p.acceptKw("not")
+		p.advance() // exists
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return &ast.ExistsExpr{Sub: sub, Not: not}, nil
+	}
+
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+
+	if t := p.peek(); t.kind == tokSym {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+
+	not := false
+	if p.kw("not") {
+		nxt := p.peek2()
+		if nxt.kind == tokIdent && (nxt.text == "between" || nxt.text == "in" || nxt.text == "like") {
+			p.advance()
+			not = true
+		}
+	}
+	switch {
+	case p.acceptKw("between"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BetweenExpr{E: left, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKw("in"):
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		if p.kw("select") {
+			sub, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return &ast.InExpr{E: left, Sub: sub, Not: not}, nil
+		}
+		var list []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return &ast.InExpr{E: left, List: list, Not: not}, nil
+	case p.acceptKw("like"):
+		t := p.advance()
+		if t.kind != tokString {
+			return nil, p.errf("expected pattern string after LIKE")
+		}
+		return &ast.LikeExpr{E: left, Pattern: t.text, Not: not}, nil
+	case p.kw("is"):
+		p.advance()
+		isNot := p.acceptKw("not")
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return &ast.IsNullExpr{E: left, Not: isNot}, nil
+	}
+	if not {
+		return nil, p.errf("dangling NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (ast.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSym || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		op := ast.OpAdd
+		if t.text == "-" {
+			op = ast.OpSub
+		}
+		left = &ast.BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (ast.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSym || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := ast.OpMul
+		if t.text == "/" {
+			op = ast.OpDiv
+		}
+		left = &ast.BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.acceptSym("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*ast.Literal); ok {
+			return &ast.Literal{Val: value.Neg(lit.Val)}, nil
+		}
+		return &ast.UnaryExpr{Neg: true, E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &ast.Literal{Val: value.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &ast.Literal{Val: value.NewInt(n)}, nil
+	case tokString:
+		p.advance()
+		return &ast.Literal{Val: value.NewStr(t.text)}, nil
+	case tokParam:
+		p.advance()
+		return &ast.Param{Name: t.text}, nil
+	case tokSym:
+		if t.text == "(" {
+			p.advance()
+			if p.kw("select") {
+				sub, err := p.parseQuery()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				return &ast.SubqueryExpr{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "*" {
+			// COUNT(*) is handled in parseFuncOrColumn; bare * means
+			// SELECT * which we expand as a special column ref.
+			p.advance()
+			return &ast.ColumnRef{Column: "*"}, nil
+		}
+	case tokIdent:
+		return p.parseIdentExpr()
+	}
+	return nil, p.errf("unexpected token %q", t)
+}
+
+func (p *parser) parseIdentExpr() (ast.Expr, error) {
+	t := p.advance()
+	name := t.text
+	switch name {
+	case "null":
+		return &ast.Literal{Val: value.NewNull()}, nil
+	case "true":
+		return &ast.Literal{Val: value.NewBool(true)}, nil
+	case "false":
+		return &ast.Literal{Val: value.NewBool(false)}, nil
+	case "date":
+		// date 'YYYY-MM-DD'
+		s := p.advance()
+		if s.kind != tokString {
+			return nil, p.errf("expected date string literal")
+		}
+		d, err := value.ParseDate(s.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &ast.Literal{Val: value.NewDate(d)}, nil
+	case "interval":
+		s := p.advance()
+		if s.kind != tokString {
+			return nil, p.errf("expected interval quantity string")
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(s.text), 10, 64)
+		if err != nil {
+			return nil, p.errf("bad interval quantity %q", s.text)
+		}
+		u := p.advance()
+		if u.kind != tokIdent {
+			return nil, p.errf("expected interval unit")
+		}
+		unit := strings.TrimSuffix(u.text, "s") // year(s), month(s), day(s)
+		switch unit {
+		case "year", "month", "day":
+		default:
+			return nil, p.errf("unsupported interval unit %q", u.text)
+		}
+		return &ast.IntervalExpr{N: n, Unit: unit}, nil
+	case "case":
+		return p.parseCase()
+	case "extract":
+		// extract(year from expr)
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		part := p.advance()
+		if part.kind != tokIdent {
+			return nil, p.errf("expected date part in EXTRACT")
+		}
+		if err := p.expectKw("from"); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		switch part.text {
+		case "year", "month", "day":
+		default:
+			return nil, p.errf("unsupported EXTRACT part %q", part.text)
+		}
+		return &ast.FuncCall{Name: "extract_" + part.text, Args: []ast.Expr{arg}}, nil
+	case "substring":
+		// substring(expr from a for b)  or  substring(expr, a, b)
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var from, forN ast.Expr
+		if p.acceptKw("from") {
+			from, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptKw("for") {
+				forN, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else if p.acceptSym(",") {
+			from, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptSym(",") {
+				forN, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		args := []ast.Expr{arg}
+		if from != nil {
+			args = append(args, from)
+		}
+		if forN != nil {
+			args = append(args, forN)
+		}
+		return &ast.FuncCall{Name: "substring", Args: args}, nil
+	}
+
+	// aggregates
+	if agg, ok := aggFuncs[name]; ok && p.sym("(") {
+		p.advance()
+		a := &ast.AggExpr{Func: agg}
+		if p.acceptSym("*") {
+			if agg != ast.AggCount {
+				return nil, p.errf("* argument only valid in COUNT")
+			}
+			a.Star = true
+		} else {
+			a.Distinct = p.acceptKw("distinct")
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			a.Arg = arg
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}
+
+	// generic function call (UDFs etc.)
+	if p.sym("(") {
+		p.advance()
+		f := &ast.FuncCall{Name: name}
+		if !p.sym(")") {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				f.Args = append(f.Args, arg)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+
+	// column reference, optionally qualified
+	if p.sym(".") {
+		p.advance()
+		col := p.advance()
+		if col.kind != tokIdent {
+			return nil, p.errf("expected column after %q.", name)
+		}
+		return &ast.ColumnRef{Table: name, Column: col.text}, nil
+	}
+	return &ast.ColumnRef{Column: name}, nil
+}
+
+var aggFuncs = map[string]ast.AggFunc{
+	"sum": ast.AggSum, "count": ast.AggCount, "avg": ast.AggAvg,
+	"min": ast.AggMin, "max": ast.AggMax,
+}
+
+func (p *parser) parseCase() (ast.Expr, error) {
+	c := &ast.CaseExpr{}
+	for {
+		if err := p.expectKw("when"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("then"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.CaseWhen{Cond: cond, Then: then})
+		if !p.kw("when") {
+			break
+		}
+	}
+	if p.acceptKw("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,28 @@
+package sqlparser
+
+import "testing"
+
+// Parser throughput on a representative analytical query (TPC-H Q3 shape).
+const benchSQL = `SELECT l_orderkey, SUM(l_extendedprice * (100 - l_discount)) AS revenue,
+  o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate < date '1995-03-15' AND l_shipdate > date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate LIMIT 10`
+
+func BenchmarkParseAnalyticalQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderSQL(b *testing.B) {
+	q := MustParse(benchSQL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.SQL()
+	}
+}

@@ -1,0 +1,303 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+func parse(t *testing.T, src string) *ast.Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestSimpleSelect(t *testing.T) {
+	q := parse(t, "SELECT a, b AS total FROM orders WHERE a = 1")
+	if len(q.Projections) != 2 {
+		t.Fatalf("projections = %d", len(q.Projections))
+	}
+	if q.Projections[1].Alias != "total" {
+		t.Errorf("alias = %q", q.Projections[1].Alias)
+	}
+	if len(q.From) != 1 || q.From[0].Name != "orders" {
+		t.Errorf("from = %+v", q.From)
+	}
+	b, ok := q.Where.(*ast.BinaryExpr)
+	if !ok || b.Op != ast.OpEq {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestImplicitAlias(t *testing.T) {
+	q := parse(t, "SELECT sum(price) total FROM orders o")
+	if q.Projections[0].Alias != "total" {
+		t.Errorf("implicit projection alias = %q", q.Projections[0].Alias)
+	}
+	if q.From[0].Alias != "o" {
+		t.Errorf("implicit table alias = %q", q.From[0].Alias)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	q := parse(t, "SELECT a FROM t WHERE a + b * 2 = 7 AND c = 1 OR d = 2")
+	// OR at top
+	or, ok := q.Where.(*ast.BinaryExpr)
+	if !ok || or.Op != ast.OpOr {
+		t.Fatalf("top = %#v", q.Where)
+	}
+	and, ok := or.Left.(*ast.BinaryExpr)
+	if !ok || and.Op != ast.OpAnd {
+		t.Fatalf("left of or = %#v", or.Left)
+	}
+	eq := and.Left.(*ast.BinaryExpr)
+	add := eq.Left.(*ast.BinaryExpr)
+	if add.Op != ast.OpAdd {
+		t.Fatalf("expected + at second level, got %v", add.Op)
+	}
+	if mul := add.Right.(*ast.BinaryExpr); mul.Op != ast.OpMul {
+		t.Errorf("expected * bound tighter, got %v", mul.Op)
+	}
+}
+
+func TestGroupByHavingOrderLimit(t *testing.T) {
+	q := parse(t, `SELECT o, SUM(p) AS s FROM t GROUP BY o HAVING SUM(p) > 100 ORDER BY s DESC, o ASC LIMIT 10`)
+	if len(q.GroupBy) != 1 {
+		t.Fatalf("group by = %d", len(q.GroupBy))
+	}
+	if q.Having == nil {
+		t.Fatal("missing having")
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	q := parse(t, `SELECT a FROM t WHERE a IN (SELECT b FROM u) AND EXISTS (SELECT 1 FROM v WHERE v.x = t.a) AND c > (SELECT AVG(d) FROM w)`)
+	subs := ast.Subqueries(q.Where)
+	if len(subs) != 3 {
+		t.Fatalf("subqueries = %d", len(subs))
+	}
+}
+
+func TestNotExists(t *testing.T) {
+	q := parse(t, `SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)`)
+	ex, ok := q.Where.(*ast.ExistsExpr)
+	if !ok || !ex.Not {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestInList(t *testing.T) {
+	q := parse(t, `SELECT a FROM t WHERE m IN ('AIR', 'TRUCK') AND n NOT IN (1, 2, 3)`)
+	conj := ast.Conjuncts(q.Where)
+	in0 := conj[0].(*ast.InExpr)
+	if len(in0.List) != 2 || in0.Not {
+		t.Fatalf("in0 = %+v", in0)
+	}
+	in1 := conj[1].(*ast.InExpr)
+	if len(in1.List) != 3 || !in1.Not {
+		t.Fatalf("in1 = %+v", in1)
+	}
+}
+
+func TestBetweenLikeIsNull(t *testing.T) {
+	q := parse(t, `SELECT a FROM t WHERE d BETWEEN 1 AND 10 AND s LIKE '%green%' AND u IS NOT NULL AND v NOT BETWEEN 2 AND 3`)
+	conj := ast.Conjuncts(q.Where)
+	if len(conj) != 4 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if b := conj[0].(*ast.BetweenExpr); b.Not {
+		t.Error("between not negated")
+	}
+	if l := conj[1].(*ast.LikeExpr); l.Pattern != "%green%" {
+		t.Errorf("pattern = %q", l.Pattern)
+	}
+	if n := conj[2].(*ast.IsNullExpr); !n.Not {
+		t.Error("IS NOT NULL")
+	}
+	if b := conj[3].(*ast.BetweenExpr); !b.Not {
+		t.Error("NOT BETWEEN")
+	}
+}
+
+func TestDateAndInterval(t *testing.T) {
+	q := parse(t, `SELECT a FROM t WHERE d >= date '1994-01-01' AND d < date '1994-01-01' + interval '1' year`)
+	conj := ast.Conjuncts(q.Where)
+	ge := conj[0].(*ast.BinaryExpr)
+	lit := ge.Right.(*ast.Literal)
+	if lit.Val.K != value.Date {
+		t.Fatalf("right of >= should be date literal, got %v", lit.Val.K)
+	}
+	lt := conj[1].(*ast.BinaryExpr)
+	add := lt.Right.(*ast.BinaryExpr)
+	if _, ok := add.Right.(*ast.IntervalExpr); !ok {
+		t.Fatalf("expected interval, got %#v", add.Right)
+	}
+}
+
+func TestCaseExtractSubstring(t *testing.T) {
+	q := parse(t, `SELECT CASE WHEN n = 'BRAZIL' THEN v ELSE 0 END, extract(year from d), substring(c from 1 for 2) FROM t`)
+	if _, ok := q.Projections[0].Expr.(*ast.CaseExpr); !ok {
+		t.Error("case expr")
+	}
+	f := q.Projections[1].Expr.(*ast.FuncCall)
+	if f.Name != "extract_year" {
+		t.Errorf("extract = %q", f.Name)
+	}
+	s := q.Projections[2].Expr.(*ast.FuncCall)
+	if s.Name != "substring" || len(s.Args) != 3 {
+		t.Errorf("substring = %+v", s)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	q := parse(t, `SELECT COUNT(*), COUNT(DISTINCT x), SUM(a*b), AVG(c), MIN(d), MAX(e) FROM t`)
+	a0 := q.Projections[0].Expr.(*ast.AggExpr)
+	if !a0.Star {
+		t.Error("count(*)")
+	}
+	a1 := q.Projections[1].Expr.(*ast.AggExpr)
+	if !a1.Distinct {
+		t.Error("count distinct")
+	}
+	for i, want := range []ast.AggFunc{ast.AggCount, ast.AggCount, ast.AggSum, ast.AggAvg, ast.AggMin, ast.AggMax} {
+		if got := q.Projections[i].Expr.(*ast.AggExpr).Func; got != want {
+			t.Errorf("agg %d = %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestParams(t *testing.T) {
+	q := parse(t, `SELECT a FROM t WHERE n = :1 AND m > :qty`)
+	conj := ast.Conjuncts(q.Where)
+	p0 := conj[0].(*ast.BinaryExpr).Right.(*ast.Param)
+	if p0.Name != "1" {
+		t.Errorf("param = %q", p0.Name)
+	}
+	p1 := conj[1].(*ast.BinaryExpr).Right.(*ast.Param)
+	if p1.Name != "qty" {
+		t.Errorf("param = %q", p1.Name)
+	}
+}
+
+func TestJoinOnSugar(t *testing.T) {
+	q := parse(t, `SELECT a FROM t JOIN u ON t.x = u.y JOIN v ON u.z = v.w WHERE t.a = 1`)
+	if len(q.From) != 3 {
+		t.Fatalf("from = %d", len(q.From))
+	}
+	conj := ast.Conjuncts(q.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d (ON folded into WHERE)", len(conj))
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	q := parse(t, `SELECT s FROM (SELECT SUM(x) AS s FROM t GROUP BY k) sub WHERE s > 10`)
+	if q.From[0].Sub == nil || q.From[0].Alias != "sub" {
+		t.Fatalf("derived table = %+v", q.From[0])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	q := parse(t, `SELECT a FROM t WHERE s = 'O''Brien'`)
+	lit := q.Where.(*ast.BinaryExpr).Right.(*ast.Literal)
+	if lit.Val.S != "O'Brien" {
+		t.Errorf("unescaped = %q", lit.Val.S)
+	}
+}
+
+func TestComments(t *testing.T) {
+	parse(t, "SELECT a -- trailing comment\nFROM t -- another\n")
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	q := parse(t, `SELECT a FROM t WHERE x > -5 AND y < -1.5`)
+	conj := ast.Conjuncts(q.Where)
+	l0 := conj[0].(*ast.BinaryExpr).Right.(*ast.Literal)
+	if l0.Val.AsInt() != -5 {
+		t.Errorf("int literal = %v", l0.Val)
+	}
+	l1 := conj[1].(*ast.BinaryExpr).Right.(*ast.Literal)
+	if l1.Val.F != -1.5 {
+		t.Errorf("float literal = %v", l1.Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",              // missing FROM
+		"SELECT a FROM",         // missing table
+		"SELECT a FROM t WHERE", // missing predicate
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t WHERE s = 'unterminated",
+		"SELECT a FROM t WHERE a ! b",
+		"SELECT a FROM t GROUP x",
+		"SELECT extract(century from d) FROM t",
+		"SELECT a FROM t; SELECT b FROM u",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestRoundTripSQL(t *testing.T) {
+	// Every parsed query should render to SQL that parses to the same SQL.
+	srcs := []string{
+		"SELECT a, b AS t FROM orders WHERE a = 1 AND b > 2",
+		"SELECT SUM(a*b) AS v FROM t GROUP BY k HAVING SUM(a*b) > 10 ORDER BY v DESC",
+		"SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE u.k = t.k)",
+		"SELECT CASE WHEN a = 1 THEN b ELSE c END FROM t",
+		"SELECT a FROM t WHERE d BETWEEN date '1994-01-01' AND date '1994-12-31'",
+		"SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u) LIMIT 5",
+		"SELECT DISTINCT a FROM t WHERE s LIKE '%x%'",
+	}
+	for _, src := range srcs {
+		q1 := parse(t, src)
+		sql1 := q1.SQL()
+		q2 := parse(t, sql1)
+		if sql2 := q2.SQL(); sql1 != sql2 {
+			t.Errorf("round trip:\n  src  = %s\n  sql1 = %s\n  sql2 = %s", src, sql1, sql2)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := parse(t, "SELECT a, SUM(b) FROM t WHERE c = 1 GROUP BY a HAVING SUM(b) > 2 ORDER BY a")
+	c := q.Clone()
+	if q.SQL() != c.SQL() {
+		t.Fatal("clone should render identically")
+	}
+	// Mutate the clone; the original must be unaffected.
+	c.Where = nil
+	c.Projections[0].Alias = "zzz"
+	if q.Where == nil || q.Projections[0].Alias == "zzz" {
+		t.Error("clone aliases underlying nodes")
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	e, err := ParseExpr("l_extendedprice * (1 - l_discount)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.SQL(), "*") {
+		t.Errorf("expr = %s", e.SQL())
+	}
+	if _, err := ParseExpr("a +"); err == nil {
+		t.Error("expected error for incomplete expr")
+	}
+}

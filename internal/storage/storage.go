@@ -1,0 +1,172 @@
+// Package storage implements the catalog and heap-table layer that backs
+// both the plaintext database and the untrusted server's encrypted database.
+//
+// Tables are in-memory row stores with byte-accurate size accounting: every
+// inserted value contributes its encoded size to per-table and per-column
+// totals. The engine reports bytes scanned per query, which the cost model
+// converts to simulated disk time — this is what makes ciphertext expansion
+// slow queries down the same way it does on the paper's disk-bound setup.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// ColType is the declared type of a column.
+type ColType uint8
+
+// Column types.
+const (
+	TInt ColType = iota
+	TFloat
+	TStr
+	TDate
+	TBytes
+	TBool
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TStr:
+		return "string"
+	case TDate:
+		return "date"
+	case TBytes:
+		return "bytes"
+	case TBool:
+		return "bool"
+	}
+	return "?"
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table.
+type Schema struct {
+	Name string
+	Cols []Column
+	Key  []string // primary key column names (informational)
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is an in-memory heap table with size accounting.
+type Table struct {
+	Schema   Schema
+	Rows     [][]value.Value
+	ColBytes []int64 // per-column accumulated bytes
+	Bytes    int64   // total bytes (sum of ColBytes plus per-row overhead)
+}
+
+// rowOverhead models per-row header cost (Postgres-like tuple header).
+const rowOverhead = 24
+
+// NewTable creates an empty table with the given schema.
+func NewTable(s Schema) *Table {
+	return &Table{Schema: s, ColBytes: make([]int64, len(s.Cols))}
+}
+
+// Insert appends a row, validating arity and accounting its size.
+func (t *Table) Insert(row []value.Value) error {
+	if len(row) != len(t.Schema.Cols) {
+		return fmt.Errorf("storage: table %s: row has %d values, schema has %d columns",
+			t.Schema.Name, len(row), len(t.Schema.Cols))
+	}
+	for i, v := range row {
+		sz := int64(v.Size())
+		t.ColBytes[i] += sz
+		t.Bytes += sz
+	}
+	t.Bytes += rowOverhead
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustInsert inserts or panics; for generators and fixtures.
+func (t *Table) MustInsert(row []value.Value) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// AvgRowBytes returns the mean stored row size including overhead.
+func (t *Table) AvgRowBytes() float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	return float64(t.Bytes) / float64(len(t.Rows))
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Create adds a new empty table; it fails if the name exists.
+func (c *Catalog) Create(s Schema) (*Table, error) {
+	if _, ok := c.tables[s.Name]; ok {
+		return nil, fmt.Errorf("storage: table %s already exists", s.Name)
+	}
+	t := NewTable(s)
+	c.tables[s.Name] = t
+	return t, nil
+}
+
+// Put installs a table, replacing any existing one with the same name.
+func (c *Catalog) Put(t *Table) { c.tables[t.Schema.Name] = t }
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no such table %s", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table if present.
+func (c *Catalog) Drop(name string) { delete(c.tables, name) }
+
+// Names returns the table names in sorted order.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytes sums stored bytes across all tables.
+func (c *Catalog) TotalBytes() int64 {
+	var n int64
+	for _, t := range c.tables {
+		n += t.Bytes
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sqlparser"
+	"repro/internal/value"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(0.001, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(0.001, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.Names() {
+		ta, _ := a.Table(name)
+		tb, _ := b.Table(name)
+		if ta.NumRows() != tb.NumRows() || ta.Bytes != tb.Bytes {
+			t.Errorf("table %s differs across identical seeds", name)
+		}
+	}
+	c, err := Generate(0.001, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li1, _ := a.Table("lineitem")
+	li2, _ := c.Table("lineitem")
+	if value.Equal(li1.Rows[0][5], li2.Rows[0][5]) &&
+		value.Equal(li1.Rows[1][5], li2.Rows[1][5]) &&
+		value.Equal(li1.Rows[2][5], li2.Rows[2][5]) {
+		t.Error("different seeds should produce different prices")
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	cat, err := Generate(0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": 10,
+		"customer": 150,
+		"part":     200,
+		"partsupp": 800,
+		"orders":   1500,
+	}
+	for name, want := range expect {
+		tb, err := cat.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.NumRows() != want {
+			t.Errorf("%s rows = %d, want %d", name, tb.NumRows(), want)
+		}
+	}
+	li, _ := cat.Table("lineitem")
+	if li.NumRows() < 1500 || li.NumRows() > 1500*7 {
+		t.Errorf("lineitem rows = %d, want within [1500, 10500]", li.NumRows())
+	}
+	if _, err := Generate(0, 1); err == nil {
+		t.Error("zero scale factor should fail")
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	cat, err := Generate(0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(cat)
+	checks := []struct {
+		name string
+		sql  string
+	}{
+		{"lineitem->orders", `SELECT COUNT(*) FROM lineitem WHERE l_orderkey NOT IN (SELECT o_orderkey FROM orders)`},
+		{"lineitem->part", `SELECT COUNT(*) FROM lineitem WHERE l_partkey NOT IN (SELECT p_partkey FROM part)`},
+		{"lineitem->supplier", `SELECT COUNT(*) FROM lineitem WHERE l_suppkey NOT IN (SELECT s_suppkey FROM supplier)`},
+		{"orders->customer", `SELECT COUNT(*) FROM orders WHERE o_custkey NOT IN (SELECT c_custkey FROM customer)`},
+		{"partsupp->part", `SELECT COUNT(*) FROM partsupp WHERE ps_partkey NOT IN (SELECT p_partkey FROM part)`},
+		{"partsupp->supplier", `SELECT COUNT(*) FROM partsupp WHERE ps_suppkey NOT IN (SELECT s_suppkey FROM supplier)`},
+		{"supplier->nation", `SELECT COUNT(*) FROM supplier WHERE s_nationkey NOT IN (SELECT n_nationkey FROM nation)`},
+		{"nation->region", `SELECT COUNT(*) FROM nation WHERE n_regionkey NOT IN (SELECT r_regionkey FROM region)`},
+	}
+	for _, c := range checks {
+		res, err := eng.Execute(sqlparser.MustParse(c.sql), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Rows[0][0].AsInt() != 0 {
+			t.Errorf("%s: %d dangling keys", c.name, res.Rows[0][0].AsInt())
+		}
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	cat, err := Generate(0.001, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(cat)
+	res, err := eng.Execute(sqlparser.MustParse(
+		`SELECT MIN(l_quantity), MAX(l_quantity), MIN(l_discount), MAX(l_discount), MIN(l_tax), MAX(l_tax) FROM lineitem`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].AsInt() < 1 || row[1].AsInt() > 50 {
+		t.Errorf("quantity out of [1,50]: %v..%v", row[0], row[1])
+	}
+	if row[2].AsInt() < 0 || row[3].AsInt() > 10 {
+		t.Errorf("discount out of [0,10]: %v..%v", row[2], row[3])
+	}
+	if row[4].AsInt() < 0 || row[5].AsInt() > 8 {
+		t.Errorf("tax out of [0,8]: %v..%v", row[4], row[5])
+	}
+	// Ship/commit/receipt ordering.
+	res, err = eng.Execute(sqlparser.MustParse(
+		`SELECT COUNT(*) FROM lineitem WHERE l_receiptdate <= l_shipdate`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Error("receipt date must follow ship date")
+	}
+}
+
+// TestAllQueriesParseAndExecutePlaintext is the substrate gate: every
+// supported query must parse and run on the plaintext engine.
+func TestAllQueriesParseAndExecutePlaintext(t *testing.T) {
+	cat, err := Generate(0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(cat)
+	for _, qn := range SupportedQueries() {
+		q, err := sqlparser.Parse(Queries[qn])
+		if err != nil {
+			t.Errorf("Q%d parse: %v", qn, err)
+			continue
+		}
+		res, err := eng.Execute(q, nil)
+		if err != nil {
+			t.Errorf("Q%d execute: %v", qn, err)
+			continue
+		}
+		_ = res
+	}
+}
+
+// Queries that should return rows at small scale (sanity on distributions).
+func TestKeyQueriesNonEmpty(t *testing.T) {
+	cat, err := Generate(0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(cat)
+	for _, qn := range []int{1, 3, 4, 5, 6, 10, 12, 22} {
+		res, err := eng.Execute(sqlparser.MustParse(Queries[qn]), nil)
+		if err != nil {
+			t.Fatalf("Q%d: %v", qn, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("Q%d returned no rows at SF 0.002", qn)
+		}
+	}
+}
+
+func TestJoinGroupsCoverSchema(t *testing.T) {
+	jg := JoinGroups()
+	if jg["lineitem.l_orderkey"] != jg["orders.o_orderkey"] {
+		t.Error("orderkey join group mismatch")
+	}
+	if jg["lineitem.l_partkey"] != jg["part.p_partkey"] {
+		t.Error("partkey join group mismatch")
+	}
+	if jg["customer.c_nationkey"] != jg["nation.n_nationkey"] {
+		t.Error("nationkey join group mismatch")
+	}
+}
+
+func TestSupportedQueriesList(t *testing.T) {
+	qs := SupportedQueries()
+	if len(qs) != 19 {
+		t.Fatalf("supported queries = %d, want 19", len(qs))
+	}
+	for _, bad := range []int{13, 15, 16} {
+		if _, ok := Queries[bad]; ok {
+			t.Errorf("Q%d should be unsupported", bad)
+		}
+		if _, ok := Unsupported[bad]; !ok {
+			t.Errorf("Q%d missing from Unsupported", bad)
+		}
+	}
+}

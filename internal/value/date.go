@@ -1,0 +1,68 @@
+package value
+
+import (
+	"fmt"
+	"time"
+)
+
+// Dates are stored as int64 days since 1970-01-01 so they can be encrypted
+// with the integer DET/OPE schemes. These helpers convert between day counts
+// and calendar components without pulling time-zone state into the engine.
+
+const dateLayout = "2006-01-02"
+
+// ParseDate converts a 'YYYY-MM-DD' literal into days since the epoch.
+func ParseDate(s string) (int64, error) {
+	t, err := time.ParseInLocation(dateLayout, s, time.UTC)
+	if err != nil {
+		return 0, fmt.Errorf("value: bad date %q: %w", s, err)
+	}
+	return int64(t.Unix() / 86400), nil
+}
+
+// MustParseDate is ParseDate for literals known to be valid (test fixtures,
+// generated data). It panics on malformed input.
+func MustParseDate(s string) int64 {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FormatDate renders days-since-epoch as 'YYYY-MM-DD'.
+func FormatDate(days int64) string {
+	return time.Unix(days*86400, 0).UTC().Format(dateLayout)
+}
+
+// dateTime converts days-since-epoch to a UTC time.Time.
+func dateTime(days int64) time.Time { return time.Unix(days*86400, 0).UTC() }
+
+// ExtractYear returns the calendar year of a date value.
+func ExtractYear(days int64) int64 { return int64(dateTime(days).Year()) }
+
+// ExtractMonth returns the calendar month (1-12) of a date value.
+func ExtractMonth(days int64) int64 { return int64(dateTime(days).Month()) }
+
+// ExtractDay returns the day of month of a date value.
+func ExtractDay(days int64) int64 { return int64(dateTime(days).Day()) }
+
+// AddInterval adds an SQL interval to a date. Unit is one of "year",
+// "month", "day"; n may be negative.
+func AddInterval(days int64, n int64, unit string) int64 {
+	t := dateTime(days)
+	switch unit {
+	case "year":
+		t = t.AddDate(int(n), 0, 0)
+	case "month":
+		t = t.AddDate(0, int(n), 0)
+	case "day":
+		t = t.AddDate(0, 0, int(n))
+	}
+	return t.Unix() / 86400
+}
+
+// MakeDate builds a days-since-epoch date from calendar components.
+func MakeDate(year, month, day int) int64 {
+	return time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC).Unix() / 86400
+}

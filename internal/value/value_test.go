@@ -1,0 +1,239 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{NewNull(), Null, "NULL"},
+		{NewInt(42), Int, "42"},
+		{NewFloat(1.5), Float, "1.5"},
+		{NewStr("abc"), Str, "abc"},
+		{NewBool(true), Bool, "true"},
+		{NewBool(false), Bool, "false"},
+		{NewBytes([]byte{0xde, 0xad}), Bytes, "0xdead"},
+		{NewDate(0), Date, "1970-01-01"},
+	}
+	for _, c := range cases {
+		if c.v.K != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.K, c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestCompareNumericCoercion(t *testing.T) {
+	if Compare(NewInt(3), NewFloat(3.0)) != 0 {
+		t.Error("int 3 should equal float 3.0")
+	}
+	if Compare(NewInt(3), NewFloat(3.5)) != -1 {
+		t.Error("3 < 3.5")
+	}
+	if Compare(NewDate(10), NewInt(10)) != 0 {
+		t.Error("date and int with same magnitude compare equal")
+	}
+}
+
+func TestCompareNullOrdering(t *testing.T) {
+	if Compare(NewNull(), NewInt(0)) != -1 {
+		t.Error("NULL sorts before values")
+	}
+	if Compare(NewInt(0), NewNull()) != 1 {
+		t.Error("values sort after NULL")
+	}
+	if Compare(NewNull(), NewNull()) != 0 {
+		t.Error("NULL vs NULL compares 0 for sorting")
+	}
+	if Equal(NewNull(), NewNull()) {
+		t.Error("Equal treats NULL as not equal to NULL")
+	}
+}
+
+func TestCompareBytes(t *testing.T) {
+	a := NewBytes([]byte{1, 2})
+	b := NewBytes([]byte{1, 2, 3})
+	c := NewBytes([]byte{1, 3})
+	if Compare(a, b) != -1 || Compare(b, a) != 1 {
+		t.Error("prefix ordering")
+	}
+	if Compare(a, c) != -1 {
+		t.Error("lexicographic ordering")
+	}
+	if Compare(a, a) != 0 {
+		t.Error("self equal")
+	}
+}
+
+func TestHashKeyDistinctness(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(1), NewStr("1")},
+		{NewStr("a"), NewBytes([]byte("a"))},
+		{NewNull(), NewInt(0)},
+		{NewBool(true), NewInt(1)}, // bools hash as ints deliberately: GROUP BY on 0/1
+	}
+	for i, p := range pairs {
+		same := p[0].HashKey() == p[1].HashKey()
+		wantSame := i == 3
+		if same != wantSame {
+			t.Errorf("pair %d: same=%v want %v", i, same, wantSame)
+		}
+	}
+	if NewInt(7).HashKey() != NewFloat(7).HashKey() {
+		t.Error("int 7 and float 7.0 must group together")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Add(NewInt(2), NewInt(3)); got.AsInt() != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := Mul(NewInt(2), NewFloat(1.5)); got.K != Float || got.F != 3 {
+		t.Errorf("2*1.5 = %v", got)
+	}
+	if got := Sub(NewDate(100), NewInt(1)); got.K != Date || got.I != 99 {
+		t.Errorf("date-1 = %v", got)
+	}
+	if !Div(NewInt(1), NewInt(0)).IsNull() {
+		t.Error("div by zero yields NULL")
+	}
+	if got := Div(NewInt(7), NewInt(2)); got.K != Float || got.F != 3.5 {
+		t.Errorf("7/2 = %v", got)
+	}
+	if !Add(NewNull(), NewInt(1)).IsNull() {
+		t.Error("NULL propagates through +")
+	}
+	if got := Neg(NewInt(4)); got.AsInt() != -4 {
+		t.Errorf("neg = %v", got)
+	}
+	if got := Neg(NewFloat(2.5)); got.F != -2.5 {
+		t.Errorf("neg float = %v", got)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	if NewInt(1).Size() != 8 {
+		t.Error("int size 8")
+	}
+	if NewStr("hello").Size() != 5 {
+		t.Error("string size = len")
+	}
+	if NewBytes(make([]byte, 256)).Size() != 256 {
+		t.Error("bytes size = len")
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	for _, s := range []string{"1970-01-01", "1992-02-29", "1998-12-01", "2024-06-12"} {
+		d, err := ParseDate(s)
+		if err != nil {
+			t.Fatalf("ParseDate(%q): %v", s, err)
+		}
+		if got := FormatDate(d); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("expected error for bad date")
+	}
+}
+
+func TestExtractAndInterval(t *testing.T) {
+	d := MustParseDate("1995-03-15")
+	if ExtractYear(d) != 1995 || ExtractMonth(d) != 3 || ExtractDay(d) != 15 {
+		t.Errorf("extract parts of 1995-03-15 = %d/%d/%d",
+			ExtractYear(d), ExtractMonth(d), ExtractDay(d))
+	}
+	if got := FormatDate(AddInterval(d, 1, "year")); got != "1996-03-15" {
+		t.Errorf("+1 year = %s", got)
+	}
+	if got := FormatDate(AddInterval(d, 3, "month")); got != "1995-06-15" {
+		t.Errorf("+3 months = %s", got)
+	}
+	if got := FormatDate(AddInterval(d, -15, "day")); got != "1995-02-28" {
+		t.Errorf("-15 days = %s", got)
+	}
+	if MakeDate(1995, 3, 15) != d {
+		t.Error("MakeDate mismatch")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints.
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		c1, c2 := Compare(va, vb), Compare(vb, va)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == Equal(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HashKey equality implies Compare equality for ints and floats.
+func TestHashKeyConsistencyProperty(t *testing.T) {
+	f := func(a int64, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if va.HashKey() == vb.HashKey() {
+			return Compare(va, vb) == 0
+		}
+		return Compare(va, vb) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: date round-trips through interval identity.
+func TestDateIntervalInverseProperty(t *testing.T) {
+	f := func(n uint16, months int8) bool {
+		d := int64(n) // dates 1970..~2149
+		fwd := AddInterval(d, int64(months), "day")
+		back := AddInterval(fwd, -int64(months), "day")
+		return back == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatHashKeyNonIntegral(t *testing.T) {
+	if NewFloat(1.5).HashKey() == NewFloat(2.5).HashKey() {
+		t.Error("distinct non-integral floats must hash differently")
+	}
+	if NewFloat(math.NaN()).HashKey() == NewFloat(1).HashKey() {
+		t.Error("NaN should not collide with 1")
+	}
+}
+
+func TestAsCoercions(t *testing.T) {
+	if NewFloat(3.9).AsInt() != 3 {
+		t.Error("float truncates to int")
+	}
+	if NewInt(3).AsFloat() != 3.0 {
+		t.Error("int widens to float")
+	}
+	if NewBool(true).AsInt() != 1 {
+		t.Error("bool as int")
+	}
+	if NewStr("x").AsInt() != 0 || NewStr("x").AsFloat() != 0 {
+		t.Error("non-numeric coerces to zero")
+	}
+	if NewInt(1).AsBool() {
+		t.Error("AsBool is strict about kind")
+	}
+	if !NewBool(true).AsBool() {
+		t.Error("AsBool true")
+	}
+}

@@ -1,0 +1,107 @@
+// Package wire frames SQL values for transport between the untrusted
+// server and the trusted client: the GROUP_CONCAT aggregate UDF ships every
+// ciphertext of a group to the client in one framed blob, and the client
+// decodes it back into values to decrypt and aggregate locally.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// kind tags mirror value.Kind but are pinned for wire stability.
+const (
+	tagNull  = 0
+	tagInt   = 1
+	tagBytes = 2
+	tagStr   = 3
+	tagDate  = 4
+	tagFloat = 5
+)
+
+// AppendValue appends the framed encoding of v to dst.
+func AppendValue(dst []byte, v value.Value) []byte {
+	switch v.K {
+	case value.Null:
+		return append(dst, tagNull)
+	case value.Int, value.Bool:
+		dst = append(dst, tagInt)
+		return binary.BigEndian.AppendUint64(dst, uint64(v.I))
+	case value.Date:
+		dst = append(dst, tagDate)
+		return binary.BigEndian.AppendUint64(dst, uint64(v.I))
+	case value.Float:
+		dst = append(dst, tagFloat)
+		// floats only appear in already-plaintext aggregates; round-trip
+		// through the integer bits representation.
+		return binary.BigEndian.AppendUint64(dst, floatBits(v.F))
+	case value.Str:
+		dst = append(dst, tagStr)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.S)))
+		return append(dst, v.S...)
+	case value.Bytes:
+		dst = append(dst, tagBytes)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.B)))
+		return append(dst, v.B...)
+	}
+	return append(dst, tagNull)
+}
+
+// DecodeValue decodes one framed value from b, returning it and the number
+// of bytes consumed.
+func DecodeValue(b []byte) (value.Value, int, error) {
+	if len(b) == 0 {
+		return value.Value{}, 0, fmt.Errorf("wire: empty input")
+	}
+	switch b[0] {
+	case tagNull:
+		return value.NewNull(), 1, nil
+	case tagInt, tagDate, tagFloat:
+		if len(b) < 9 {
+			return value.Value{}, 0, fmt.Errorf("wire: truncated integer")
+		}
+		x := binary.BigEndian.Uint64(b[1:9])
+		switch b[0] {
+		case tagDate:
+			return value.NewDate(int64(x)), 9, nil
+		case tagFloat:
+			return value.NewFloat(bitsFloat(x)), 9, nil
+		default:
+			return value.NewInt(int64(x)), 9, nil
+		}
+	case tagStr, tagBytes:
+		if len(b) < 5 {
+			return value.Value{}, 0, fmt.Errorf("wire: truncated length")
+		}
+		n := int(binary.BigEndian.Uint32(b[1:5]))
+		if len(b) < 5+n {
+			return value.Value{}, 0, fmt.Errorf("wire: truncated payload (need %d bytes)", n)
+		}
+		if b[0] == tagStr {
+			return value.NewStr(string(b[5 : 5+n])), 5 + n, nil
+		}
+		return value.NewBytes(append([]byte(nil), b[5:5+n]...)), 5 + n, nil
+	}
+	return value.Value{}, 0, fmt.Errorf("wire: unknown tag %d", b[0])
+}
+
+// DecodeAll decodes a concatenation of framed values.
+func DecodeAll(b []byte) ([]value.Value, error) {
+	var out []value.Value
+	for len(b) > 0 {
+		v, n, err := DecodeValue(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func bitsFloat(x uint64) float64 { return math.Float64frombits(x) }

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestRoundTripAllKinds(t *testing.T) {
+	vals := []value.Value{
+		value.NewNull(),
+		value.NewInt(-12345),
+		value.NewInt(1 << 60),
+		value.NewFloat(3.14159),
+		value.NewStr("hello"),
+		value.NewStr(""),
+		value.NewBytes([]byte{0, 1, 2, 255}),
+		value.NewDate(9131),
+	}
+	var buf []byte
+	for _, v := range vals {
+		buf = AppendValue(buf, v)
+	}
+	got, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if vals[i].K != got[i].K && !(vals[i].K == value.Bool && got[i].K == value.Int) {
+			t.Errorf("value %d kind %v -> %v", i, vals[i].K, got[i].K)
+		}
+		if !vals[i].IsNull() && value.Compare(vals[i], got[i]) != 0 {
+			t.Errorf("value %d: %v -> %v", i, vals[i], got[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty input")
+	}
+	if _, _, err := DecodeValue([]byte{1, 0}); err == nil {
+		t.Error("truncated int")
+	}
+	if _, _, err := DecodeValue([]byte{3, 0, 0, 0, 10, 'a'}); err == nil {
+		t.Error("truncated string payload")
+	}
+	if _, _, err := DecodeValue([]byte{99}); err == nil {
+		t.Error("unknown tag")
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(b []byte, s string, i int64) bool {
+		var buf []byte
+		buf = AppendValue(buf, value.NewBytes(b))
+		buf = AppendValue(buf, value.NewStr(s))
+		buf = AppendValue(buf, value.NewInt(i))
+		got, err := DecodeAll(buf)
+		if err != nil || len(got) != 3 {
+			return false
+		}
+		return string(got[0].B) == string(b) && got[1].S == s && got[2].I == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

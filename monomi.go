@@ -1,0 +1,390 @@
+// Package monomi is the public API of this MONOMI reproduction: a system
+// for securely executing analytical SQL over an encrypted database hosted
+// on an untrusted server ("Processing Analytical Queries over Encrypted
+// Data", Tu, Kaashoek, Madden, Zeldovich — VLDB 2013).
+//
+// The flow mirrors Figure 1 of the paper:
+//
+//  1. Build (or load) a plaintext database and a representative workload.
+//  2. Run the Designer to choose the encrypted physical design — which
+//     ⟨value, scheme⟩ columns to materialize (DET, OPE, HOM/Paillier,
+//     SEARCH, RND), which expressions to precompute per row, and how to
+//     pack Paillier plaintexts — optionally under a space budget S.
+//  3. Encrypt the database and host it on the untrusted server.
+//  4. Query the returned System (its client side is the trusted library and
+//     sole key holder): every query is split by the planner into RemoteSQL
+//     over ciphertexts plus local decrypt/filter/group/sort operators.
+//
+// A quickstart:
+//
+//	db := monomi.NewDatabase()
+//	db.MustCreateTable("orders",
+//	    monomi.Col("o_id", monomi.Int), monomi.Col("o_cust", monomi.String),
+//	    monomi.Col("o_total", monomi.Int), monomi.Col("o_date", monomi.Date))
+//	db.MustInsert("orders", 1, "alice", 120, "1995-01-15")
+//	...
+//	sys, err := monomi.Encrypt(db, monomi.Workload{
+//	    "top": "SELECT o_cust, SUM(o_total) FROM orders GROUP BY o_cust",
+//	}, monomi.DefaultOptions())
+//	rows, err := sys.Query("SELECT o_cust, SUM(o_total) t FROM orders GROUP BY o_cust ORDER BY t DESC")
+package monomi
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/designer"
+	"repro/internal/enc"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/planner"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+	"repro/internal/value"
+)
+
+// ColType enumerates column types.
+type ColType int
+
+// Column types.
+const (
+	Int ColType = iota
+	Float
+	String
+	Date
+)
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Col is a convenience constructor.
+func Col(name string, t ColType) Column { return Column{Name: name, Type: t} }
+
+// Database is a plaintext database under construction (the trusted side's
+// source of truth before encryption).
+type Database struct {
+	cat *storage.Catalog
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return &Database{cat: storage.NewCatalog()} }
+
+// CreateTable adds a table.
+func (d *Database) CreateTable(name string, cols ...Column) error {
+	s := storage.Schema{Name: name}
+	for _, c := range cols {
+		s.Cols = append(s.Cols, storage.Column{Name: c.Name, Type: colType(c.Type)})
+	}
+	_, err := d.cat.Create(s)
+	return err
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (d *Database) MustCreateTable(name string, cols ...Column) {
+	if err := d.CreateTable(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// Insert appends a row; date columns take "YYYY-MM-DD" strings.
+func (d *Database) Insert(table string, vals ...any) error {
+	t, err := d.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if len(vals) != len(t.Schema.Cols) {
+		return fmt.Errorf("monomi: table %s expects %d values, got %d", table, len(t.Schema.Cols), len(vals))
+	}
+	row := make([]value.Value, len(vals))
+	for i, v := range vals {
+		cv, err := toValue(t.Schema.Cols[i].Type, v)
+		if err != nil {
+			return fmt.Errorf("monomi: column %s: %w", t.Schema.Cols[i].Name, err)
+		}
+		row[i] = cv
+	}
+	return t.Insert(row)
+}
+
+// MustInsert is Insert that panics on error.
+func (d *Database) MustInsert(table string, vals ...any) {
+	if err := d.Insert(table, vals...); err != nil {
+		panic(err)
+	}
+}
+
+// TPCH returns a generated TPC-H database at the given scale factor
+// (SF 1.0 = 6M lineitem rows; experiments here use small fractions).
+func TPCH(scaleFactor float64, seed int64) (*Database, error) {
+	cat, err := tpch.Generate(tpch.ScaleFactor(scaleFactor), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{cat: cat}, nil
+}
+
+// TPCHQuery returns the adapted text of a supported TPC-H query.
+func TPCHQuery(n int) (string, bool) {
+	q, ok := tpch.Queries[n]
+	return q, ok
+}
+
+// TPCHQueries lists the supported TPC-H query numbers.
+func TPCHQueries() []int { return tpch.SupportedQueries() }
+
+// Workload maps labels to representative SQL queries for the designer.
+type Workload map[string]string
+
+// Options configures encryption and the designer.
+type Options struct {
+	// MasterKey derives all column keys; required non-empty.
+	MasterKey []byte
+	// PaillierBits is the HOM modulus width (paper: 1024).
+	PaillierBits int
+	// SpaceBudget is the paper's S factor (0 = unconstrained).
+	SpaceBudget float64
+	// SpaceGreedy uses the §8.6 heuristic instead of the ILP.
+	SpaceGreedy bool
+	// NetBitsPerSec / DiskBytesPerSec configure the simulated link & disk.
+	NetBitsPerSec   float64
+	DiskBytesPerSec float64
+	// ProfileCosts measures real per-op decryption costs at startup
+	// (§6.4's profiler) instead of using calibrated defaults.
+	ProfileCosts bool
+}
+
+// DefaultOptions returns the paper's configuration: 1,024-bit Paillier,
+// S=2 space budget, 10 Mbit/s link.
+func DefaultOptions() Options {
+	return Options{
+		MasterKey:    []byte("monomi-default-master-key"),
+		PaillierBits: 1024,
+		SpaceBudget:  2.0,
+	}
+}
+
+// System is an encrypted deployment: untrusted server + trusted client.
+type System struct {
+	db     *Database
+	keys   *enc.KeyStore
+	design *designer.Result
+	encDB  *enc.DB
+	client *client.Client
+	plain  *engine.Engine
+	net    netsim.Config
+}
+
+// Encrypt runs the designer over the workload, encrypts the database, and
+// returns a ready System.
+func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
+	if len(opts.MasterKey) == 0 {
+		return nil, fmt.Errorf("monomi: MasterKey must be set")
+	}
+	if opts.PaillierBits == 0 {
+		opts.PaillierBits = 1024
+	}
+	net := netsim.Default()
+	if opts.NetBitsPerSec > 0 {
+		net.NetBitsPerSec = opts.NetBitsPerSec
+	}
+	if opts.DiskBytesPerSec > 0 {
+		net.DiskBytesPerSec = opts.DiskBytesPerSec
+	}
+	ks, err := enc.NewKeyStore(opts.MasterKey, opts.PaillierBits)
+	if err != nil {
+		return nil, err
+	}
+	cost := planner.DefaultCostModel(net)
+	if opts.ProfileCosts {
+		cost = planner.ProfileCostModel(ks, net)
+	}
+	cost.HomCipherBytes = ks.Paillier().CiphertextSize()
+
+	w, err := designer.ParseWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	dopts := designer.MonomiOptions()
+	dopts.SpaceBudget = opts.SpaceBudget
+	dopts.SpaceGreedy = opts.SpaceGreedy
+	dres, err := designer.Run(db.cat, w, ks, cost, dopts)
+	if err != nil {
+		return nil, err
+	}
+	encDB, err := enc.EncryptDatabase(db.cat, dres.Design, ks)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(encDB, net)
+	dres.Context.EnablePrefilter = true
+	cl := client.New(ks, srv, dres.Context, net)
+	return &System{
+		db: db, keys: ks, design: dres, encDB: encDB, client: cl,
+		plain: engine.New(db.cat), net: net,
+	}, nil
+}
+
+// Rows is a plaintext query result.
+type Rows struct {
+	Cols []string
+	Data [][]any
+
+	// Timing breakdown (simulated server/network, measured client).
+	ServerTime   float64 // seconds
+	TransferTime float64
+	ClientTime   float64
+	WireBytes    int64
+	PlanText     string
+}
+
+// Total returns the end-to-end simulated latency in seconds.
+func (r *Rows) Total() float64 { return r.ServerTime + r.TransferTime + r.ClientTime }
+
+// Query executes SQL through the encrypted split-execution path.
+func (s *System) Query(sql string) (*Rows, error) {
+	res, err := s.client.Query(sql, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{
+		Cols:         res.Cols,
+		ServerTime:   res.ServerTime.Seconds(),
+		TransferTime: res.TransferTime.Seconds(),
+		ClientTime:   res.ClientTime.Seconds(),
+		WireBytes:    res.WireBytes,
+		PlanText:     res.Plan.Describe(),
+	}
+	for _, row := range res.Rows {
+		vals := make([]any, len(row))
+		for i, v := range row {
+			vals[i] = fromValue(v)
+		}
+		out.Data = append(out.Data, vals)
+	}
+	return out, nil
+}
+
+// QueryPlaintext executes SQL directly on the plaintext database (the
+// unencrypted baseline used for comparisons).
+func (s *System) QueryPlaintext(sql string) (*Rows, error) {
+	q, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.plain.Execute(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{
+		Cols:       res.Cols,
+		ServerTime: s.net.ScanTime(res.Stats.BytesScanned).Seconds() + s.net.RowTime(res.Stats.RowsScanned).Seconds(),
+	}
+	out.TransferTime = s.net.TransferTime(res.Bytes()).Seconds()
+	for _, row := range res.Rows {
+		vals := make([]any, len(row))
+		for i, v := range row {
+			vals[i] = fromValue(v)
+		}
+		out.Data = append(out.Data, vals)
+	}
+	return out, nil
+}
+
+// SchemeCensus describes one column's encryption in the design.
+type SchemeCensus struct {
+	Table      string
+	Expr       string // column name or precomputed expression
+	Scheme     string // RND | HOM | SEARCH | DET | OPE
+	Precompute bool
+}
+
+// Design returns the chosen physical design for inspection (the security
+// report of §8.7 derives from this).
+func (s *System) Design() []SchemeCensus {
+	var out []SchemeCensus
+	for _, it := range s.design.Design.Items {
+		out = append(out, SchemeCensus{
+			Table:      it.Table,
+			Expr:       it.ExprSQL(),
+			Scheme:     it.Scheme.String(),
+			Precompute: it.IsPrecomputed(),
+		})
+	}
+	return out
+}
+
+// DesignStats reports the designer's ILP size and estimated footprint.
+func (s *System) DesignStats() (vars, constraints int, plainBytes, encBytes int64) {
+	return s.design.Vars, s.design.Constraints,
+		s.db.cat.TotalBytes(), s.encDB.TotalBytes()
+}
+
+// --- conversions ---
+
+func colType(t ColType) storage.ColType {
+	switch t {
+	case Int:
+		return storage.TInt
+	case Float:
+		return storage.TFloat
+	case String:
+		return storage.TStr
+	case Date:
+		return storage.TDate
+	}
+	return storage.TInt
+}
+
+func toValue(t storage.ColType, v any) (value.Value, error) {
+	switch t {
+	case storage.TInt:
+		switch x := v.(type) {
+		case int:
+			return value.NewInt(int64(x)), nil
+		case int64:
+			return value.NewInt(x), nil
+		}
+	case storage.TFloat:
+		switch x := v.(type) {
+		case float64:
+			return value.NewFloat(x), nil
+		case int:
+			return value.NewFloat(float64(x)), nil
+		}
+	case storage.TStr:
+		if x, ok := v.(string); ok {
+			return value.NewStr(x), nil
+		}
+	case storage.TDate:
+		if x, ok := v.(string); ok {
+			d, err := value.ParseDate(x)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.NewDate(d), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("cannot convert %T to %v", v, t)
+}
+
+func fromValue(v value.Value) any {
+	switch v.K {
+	case value.Null:
+		return nil
+	case value.Int, value.Bool:
+		return v.I
+	case value.Float:
+		return v.F
+	case value.Str:
+		return v.S
+	case value.Date:
+		return value.FormatDate(v.I)
+	case value.Bytes:
+		return v.B
+	}
+	return nil
+}

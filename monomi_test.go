@@ -1,0 +1,166 @@
+package monomi
+
+import (
+	"strings"
+	"testing"
+)
+
+func exampleDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase()
+	db.MustCreateTable("orders",
+		Col("o_id", Int), Col("o_cust", String), Col("o_total", Int), Col("o_date", Date))
+	rows := []struct {
+		id    int
+		cust  string
+		total int
+		date  string
+	}{
+		{1, "alice", 120, "1995-01-15"},
+		{2, "bob", 80, "1995-06-01"},
+		{3, "alice", 300, "1996-02-20"},
+		{4, "carol", 50, "1996-07-04"},
+	}
+	for _, r := range rows {
+		db.MustInsert("orders", r.id, r.cust, r.total, r.date)
+	}
+	return db
+}
+
+func exampleSystem(t testing.TB) *System {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.PaillierBits = 256 // fast tests
+	sys, err := Encrypt(exampleDB(t), Workload{
+		"totals": "SELECT o_cust, SUM(o_total) FROM orders GROUP BY o_cust",
+		"range":  "SELECT o_id FROM orders WHERE o_total > 100",
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFacadeQueryMatchesPlaintext(t *testing.T) {
+	sys := exampleSystem(t)
+	sql := "SELECT o_cust, SUM(o_total) AS t FROM orders GROUP BY o_cust ORDER BY t DESC"
+	encRes, err := sys.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.QueryPlaintext(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encRes.Data) != len(plain.Data) {
+		t.Fatalf("rows: %d vs %d", len(encRes.Data), len(plain.Data))
+	}
+	for i := range plain.Data {
+		for j := range plain.Data[i] {
+			if encRes.Data[i][j] != plain.Data[i][j] {
+				t.Errorf("row %d col %d: %v vs %v", i, j, encRes.Data[i][j], plain.Data[i][j])
+			}
+		}
+	}
+	if encRes.Data[0][0] != "alice" || encRes.Data[0][1] != int64(420) {
+		t.Errorf("top row = %v", encRes.Data[0])
+	}
+	if encRes.PlanText == "" || encRes.Total() <= 0 {
+		t.Error("timings and plan text should be populated")
+	}
+}
+
+func TestFacadeDesignCensus(t *testing.T) {
+	sys := exampleSystem(t)
+	census := sys.Design()
+	if len(census) == 0 {
+		t.Fatal("design should not be empty")
+	}
+	schemes := map[string]bool{}
+	for _, c := range census {
+		schemes[c.Scheme] = true
+		if c.Table != "orders" {
+			t.Errorf("unexpected table %q", c.Table)
+		}
+	}
+	// At four rows the cost model may rightly skip HOM (client-side
+	// folding is cheaper); DET and OPE are unconditional here.
+	for _, want := range []string{"DET", "OPE"} {
+		if !schemes[want] {
+			t.Errorf("design should contain a %s item (workload needs it)", want)
+		}
+	}
+	vars, cons, plain, encBytes := sys.DesignStats()
+	if plain <= 0 || encBytes <= plain {
+		t.Errorf("sizes: plain=%d enc=%d", plain, encBytes)
+	}
+	_ = vars
+	_ = cons
+}
+
+func TestFacadeErrors(t *testing.T) {
+	db := exampleDB(t)
+	if _, err := Encrypt(db, Workload{}, Options{}); err == nil {
+		t.Error("missing master key should fail")
+	}
+	if err := db.Insert("missing", 1); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := db.Insert("orders", 1); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := db.Insert("orders", "x", "y", "z", "w"); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if err := ValidateSQL("SELECT FROM"); err == nil {
+		t.Error("bad SQL should fail validation")
+	}
+	if err := ValidateSQL("SELECT 1 FROM t"); err != nil {
+		t.Errorf("good SQL rejected: %v", err)
+	}
+	sys := exampleSystem(t)
+	if _, err := sys.Query("SELECT nope FROM orders"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, ok := TPCHQuery(13); ok {
+		t.Error("Q13 is unsupported")
+	}
+	if q, ok := TPCHQuery(1); !ok || !strings.Contains(q, "lineitem") {
+		t.Error("Q1 text expected")
+	}
+	if len(TPCHQueries()) != 19 {
+		t.Error("19 supported queries")
+	}
+}
+
+func TestFacadeTPCH(t *testing.T) {
+	db, err := TPCH(0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.PaillierBits = 256
+	sys, err := Encrypt(db, Workload{"q6": mustTPCH(6)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encRes, err := sys.Query(mustTPCH(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.QueryPlaintext(mustTPCH(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encRes.Data) != 1 || encRes.Data[0][0] != plain.Data[0][0] {
+		t.Errorf("Q6: %v vs %v", encRes.Data, plain.Data)
+	}
+}
+
+func mustTPCH(n int) string {
+	q, ok := TPCHQuery(n)
+	if !ok {
+		panic("unsupported query")
+	}
+	return q
+}

@@ -1,0 +1,16 @@
+package monomi
+
+import (
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+)
+
+// parseSQL parses one SELECT statement.
+func parseSQL(sql string) (*ast.Query, error) { return sqlparser.Parse(sql) }
+
+// ValidateSQL reports whether the dialect accepts the statement, returning
+// the parse error if not. Useful for pre-flighting workload files.
+func ValidateSQL(sql string) error {
+	_, err := sqlparser.Parse(sql)
+	return err
+}
