@@ -12,6 +12,7 @@
 package monomi
 
 import (
+	"fmt"
 	"runtime/debug"
 	"sync"
 	"testing"
@@ -97,13 +98,58 @@ func BenchmarkFigure4_CryptDBClient(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelism_TPCHGroupedAgg runs TPC-H Q1 (the grouped-
+// aggregation workhorse: full lineitem scan, four groups, eight
+// aggregates) through MONOMI's encrypted split execution at increasing
+// sharded-execution worker counts. On a multi-core host the p>1 variants
+// demonstrate the multi-core speedup of the sharded server engine and
+// batched Paillier aggregation; on a single core they bound the overhead.
+func BenchmarkParallelism_TPCHGroupedAgg(b *testing.B) {
+	s := suite(b)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			s.Monomi.SetParallelism(p)
+			// Warm the client's decryption caches so the first level
+			// measured does not pay the cold decrypts alone.
+			if _, err := s.Monomi.RunEncrypted(1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Monomi.RunEncrypted(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	s.Monomi.SetParallelism(0)
+}
+
+// BenchmarkParallelism_TPCHGroupedAggPlain is the plaintext counterpart,
+// isolating the engine's sharded scan/aggregate loops from the crypto.
+func BenchmarkParallelism_TPCHGroupedAggPlain(b *testing.B) {
+	s := suite(b)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			s.Monomi.SetParallelism(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Monomi.RunPlain(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	s.Monomi.SetParallelism(0)
+}
+
 // BenchmarkFigure5_CumulativeTechniques measures the full §8.3 sweep: six
 // configurations from CryptDB+Client to +Planner, each running all 19
 // queries (Figure 6's per-technique highlights derive from the same data).
 func BenchmarkFigure5_CumulativeTechniques(b *testing.B) {
 	reclaim()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(0.0005, benchSeed, benchBits); err != nil {
+		if _, err := experiments.Figure5(0.0005, benchSeed, benchBits, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -190,7 +236,7 @@ func BenchmarkFigureZ8_DesignerSubsets(b *testing.B) {
 func BenchmarkFigureZ9_SpaceBudgets(b *testing.B) {
 	releaseSuite()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure9(0.0005, benchSeed, benchBits); err != nil {
+		if _, err := experiments.Figure9(0.0005, benchSeed, benchBits, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

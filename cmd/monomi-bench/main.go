@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generator seed")
 	bits := flag.Int("paillier", 512, "Paillier modulus bits (paper: 1024)")
 	maxK := flag.Int("maxk", 4, "maximum designer subset size for fig8")
+	par := flag.Int("parallelism", 0, "sharded-execution workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	scale := tpch.ScaleFactor(*sf)
@@ -42,6 +43,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		for _, b := range []*experiments.Bench{suite.Monomi, suite.Greedy, suite.CryptDB} {
+			b.SetParallelism(*par)
+		}
 	}
 
 	run := func(name string) {
@@ -53,7 +57,7 @@ func main() {
 			}
 			fmt.Println(fig.String())
 		case "fig5":
-			fig, err := experiments.Figure5(scale, *seed, *bits)
+			fig, err := experiments.Figure5(scale, *seed, *bits, *par)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -72,7 +76,7 @@ func main() {
 			}
 			fmt.Println(fig.String())
 		case "fig9":
-			fig, err := experiments.Figure9(scale, *seed, *bits)
+			fig, err := experiments.Figure9(scale, *seed, *bits, *par)
 			if err != nil {
 				log.Fatal(err)
 			}

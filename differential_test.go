@@ -1,0 +1,196 @@
+package monomi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Differential property test: a seeded random query generator runs the same
+// queries through the plaintext engine and the encrypted split-execution
+// path and requires identical results — at several parallelism levels, so
+// the sharded engine, the AggState merge path, and the batched Paillier
+// aggregation are all exercised against the sequential baseline.
+
+const (
+	diffRows    = 260 // enough rows that sharding kicks in (minShardRows*2 per shard)
+	diffQueries = 24  // random queries per template set
+	diffSeed    = 20130826
+)
+
+// diffSystem builds sales(s_id, s_cat, s_qty, s_price, s_date) with seeded
+// random rows and encrypts it under a workload broad enough that the
+// designer materializes DET, OPE, and HOM columns.
+func diffSystem(t testing.TB) *System {
+	t.Helper()
+	rng := rand.New(rand.NewSource(diffSeed))
+	db := NewDatabase()
+	db.MustCreateTable("sales",
+		Col("s_id", Int), Col("s_cat", String), Col("s_qty", Int),
+		Col("s_price", Int), Col("s_date", Date))
+	cats := []string{"ale", "bock", "cider", "dubbel", "export"}
+	for i := 0; i < diffRows; i++ {
+		date := fmt.Sprintf("19%02d-%02d-%02d", 95+rng.Intn(4), 1+rng.Intn(12), 1+rng.Intn(28))
+		db.MustInsert("sales", i, cats[rng.Intn(len(cats))], int(rng.Int63n(50)),
+			int(rng.Int63n(1000)), date)
+	}
+	opts := DefaultOptions()
+	opts.PaillierBits = 256 // fast tests
+	opts.SpaceBudget = 0    // unconstrained: materialize what the workload wants
+	sys, err := Encrypt(db, Workload{
+		"sum_by_cat": "SELECT s_cat, SUM(s_price), SUM(s_qty), COUNT(*) FROM sales GROUP BY s_cat",
+		"filter_ope": "SELECT s_id, s_price FROM sales WHERE s_qty < 10 AND s_price > 500",
+		"date_range": "SELECT SUM(s_price) FROM sales WHERE s_date < date '1997-01-01'",
+		"cat_eq":     "SELECT COUNT(*) FROM sales WHERE s_cat = 'ale'",
+		"minmax":     "SELECT s_cat, MIN(s_price), MAX(s_price), AVG(s_qty) FROM sales GROUP BY s_cat",
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// diffQuery is one generated query plus whether its ORDER BY imposes a
+// total order (making row order part of the contract).
+type diffQuery struct {
+	sql     string
+	ordered bool
+}
+
+// genQueries derives random filters over the sales schema and splices them
+// into aggregate/projection templates covering filters, GROUP BY, ORDER BY,
+// and SUM/COUNT/AVG/MIN/MAX.
+func genQueries(rng *rand.Rand, n int) []diffQuery {
+	pred := func() string {
+		var conjs []string
+		for k := 0; k <= rng.Intn(2); k++ {
+			switch rng.Intn(5) {
+			case 0:
+				conjs = append(conjs, fmt.Sprintf("s_qty < %d", 5+rng.Intn(45)))
+			case 1:
+				lo := rng.Intn(500)
+				conjs = append(conjs, fmt.Sprintf("s_price BETWEEN %d AND %d", lo, lo+100+rng.Intn(500)))
+			case 2:
+				cats := []string{"ale", "bock", "cider", "dubbel", "export"}
+				conjs = append(conjs, fmt.Sprintf("s_cat = '%s'", cats[rng.Intn(len(cats))]))
+			case 3:
+				conjs = append(conjs, fmt.Sprintf("s_date < date '19%02d-06-15'", 96+rng.Intn(3)))
+			default:
+				conjs = append(conjs, fmt.Sprintf("s_price >= %d", rng.Intn(900)))
+			}
+		}
+		return strings.Join(conjs, " AND ")
+	}
+	var out []diffQuery
+	for i := 0; i < n; i++ {
+		p := pred()
+		switch i % 6 {
+		case 0:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT s_cat, SUM(s_price), COUNT(*) FROM sales WHERE %s GROUP BY s_cat ORDER BY s_cat", p), true})
+		case 1:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT s_cat, AVG(s_qty) FROM sales WHERE %s GROUP BY s_cat ORDER BY s_cat", p), true})
+		case 2:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT SUM(s_price), SUM(s_qty) FROM sales WHERE %s", p), false})
+		case 3:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT s_id, s_price FROM sales WHERE %s ORDER BY s_id", p), true})
+		case 4:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT COUNT(*) FROM sales WHERE %s", p), false})
+		default:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT s_cat, MIN(s_price), MAX(s_price) FROM sales WHERE %s GROUP BY s_cat ORDER BY s_cat", p), true})
+		}
+	}
+	return out
+}
+
+// canonicalRows renders result rows for comparison: floats rounded so the
+// encrypted path's different evaluation order (SUM/COUNT split, shard
+// merges) cannot flip a last-ulp bit, unordered results sorted.
+func canonicalRows(t *testing.T, data [][]any, ordered bool) []string {
+	t.Helper()
+	out := make([]string, len(data))
+	for i, row := range data {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if f, ok := v.(float64); ok {
+				parts[j] = fmt.Sprintf("%.6g", f)
+				if math.IsNaN(f) {
+					t.Fatalf("NaN in result row %d", i)
+				}
+			} else {
+				parts[j] = fmt.Sprint(v)
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	if !ordered {
+		sort.Strings(out)
+	}
+	return out
+}
+
+func TestDifferentialRandomQueries(t *testing.T) {
+	sys := diffSystem(t)
+	queries := genQueries(rand.New(rand.NewSource(diffSeed+1)), diffQueries)
+	for _, par := range []int{1, 2, 4} {
+		sys.SetParallelism(par)
+		for _, q := range queries {
+			plain, err := sys.QueryPlaintext(q.sql)
+			if err != nil {
+				t.Fatalf("p=%d plaintext %s: %v", par, q.sql, err)
+			}
+			enc, err := sys.Query(q.sql)
+			if err != nil {
+				t.Fatalf("p=%d encrypted %s: %v", par, q.sql, err)
+			}
+			want := canonicalRows(t, plain.Data, q.ordered)
+			got := canonicalRows(t, enc.Data, q.ordered)
+			if len(got) != len(want) {
+				t.Fatalf("p=%d %s: %d rows, plaintext %d", par, q.sql, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("p=%d %s\nrow %d: encrypted %q, plaintext %q", par, q.sql, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialParallelismInvariance pins the encrypted results
+// themselves across parallelism levels: integer aggregates must be
+// byte-identical whether computed sequentially or sharded.
+func TestDifferentialParallelismInvariance(t *testing.T) {
+	sys := diffSystem(t)
+	queries := genQueries(rand.New(rand.NewSource(diffSeed+2)), 12)
+	base := make([][]string, len(queries))
+	sys.SetParallelism(1)
+	for i, q := range queries {
+		res, err := sys.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", q.sql, err)
+		}
+		base[i] = canonicalRows(t, res.Data, true)
+	}
+	for _, par := range []int{2, 4} {
+		sys.SetParallelism(par)
+		for i, q := range queries {
+			res, err := sys.Query(q.sql)
+			if err != nil {
+				t.Fatalf("p=%d %s: %v", par, q.sql, err)
+			}
+			got := canonicalRows(t, res.Data, true)
+			if strings.Join(got, "\n") != strings.Join(base[i], "\n") {
+				t.Errorf("p=%d %s diverges from sequential:\n%v\nvs\n%v", par, q.sql, got, base[i])
+			}
+		}
+	}
+}

@@ -33,9 +33,13 @@ type Client struct {
 	// Greedy disables the cost-based planner: every query uses the greedy
 	// plan that pushes all available computation to the server (the
 	// Execution-Greedy configuration of §8.3).
-	Greedy    bool
-	cache     *decryptCache
-	packCache packing.PlainCache
+	Greedy bool
+	// Parallelism is the worker count for the local engines that run the
+	// plan's residual operators over decrypted temp tables; values < 1
+	// mean GOMAXPROCS, 1 forces sequential execution.
+	Parallelism int
+	cache       *decryptCache
+	packCache   packing.PlainCache
 }
 
 // New creates a client. ctx must be built over the plaintext schema with
@@ -133,6 +137,7 @@ func (c *Client) finishPlan(plan *planner.Plan, cat *storage.Catalog, res *Resul
 	}
 	start := time.Now()
 	eng := engine.New(cat)
+	eng.Parallelism = c.Parallelism
 	out, err := eng.Execute(plan.Local, nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: local query: %w", err)

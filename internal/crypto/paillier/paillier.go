@@ -132,6 +132,23 @@ func (k *Key) AddCipher(a, b *big.Int) *big.Int {
 	return c.Mod(c, k.N2)
 }
 
+// ProductCipher homomorphically adds a batch of ciphertexts:
+// E(Σaᵢ) = Πᵢ E(aᵢ) mod N². It reuses one accumulator and one scratch
+// big.Int across the whole batch, unlike repeated AddCipher calls which
+// allocate per multiplication. Returns nil for an empty batch.
+func (k *Key) ProductCipher(cs []*big.Int) *big.Int {
+	if len(cs) == 0 {
+		return nil
+	}
+	acc := new(big.Int).Set(cs[0])
+	tmp := new(big.Int)
+	for _, c := range cs[1:] {
+		tmp.Mul(acc, c)
+		acc.Mod(tmp, k.N2)
+	}
+	return acc
+}
+
 // MulConst homomorphically multiplies a ciphertext's plaintext by a
 // constant: E(s·a) = E(a)^s mod N².
 func (k *Key) MulConst(a *big.Int, s *big.Int) *big.Int {

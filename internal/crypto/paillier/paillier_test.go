@@ -55,6 +55,42 @@ func TestHomomorphicAdditionProperty(t *testing.T) {
 	}
 }
 
+func TestProductCipherMatchesFold(t *testing.T) {
+	k := testKey(t)
+	var cs []*big.Int
+	sum := int64(0)
+	for i := int64(1); i <= 9; i++ {
+		c, err := k.EncryptInt64(i * 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+		sum += i * 11
+	}
+	if k.ProductCipher(nil) != nil {
+		t.Error("empty product should be nil")
+	}
+	one := k.ProductCipher(cs[:1])
+	if one.Cmp(cs[0]) != 0 {
+		t.Error("singleton product should equal its element")
+	}
+	prod := k.ProductCipher(cs)
+	fold := new(big.Int).Set(cs[0])
+	for _, c := range cs[1:] {
+		fold = k.AddCipher(fold, c)
+	}
+	if prod.Cmp(fold) != 0 {
+		t.Error("batched product diverges from AddCipher fold")
+	}
+	m, err := k.Decrypt(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != sum {
+		t.Errorf("product decrypts to %v, want %d", m, sum)
+	}
+}
+
 func TestCiphertextsRandomized(t *testing.T) {
 	k := testKey(t)
 	c1, _ := k.EncryptInt64(7)

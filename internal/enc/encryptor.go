@@ -84,7 +84,15 @@ func (db *DB) TotalBytes() int64 {
 // the design becomes one encrypted table (one or more encrypted copies per
 // column, §7) plus optional ciphertext files for the HOM groups.
 func EncryptDatabase(plain *storage.Catalog, design *Design, ks *KeyStore) (*DB, error) {
+	return EncryptDatabaseParallel(plain, design, ks, 0)
+}
+
+// EncryptDatabaseParallel is EncryptDatabase with an explicit worker count
+// for the encryption-time expression scans over the plaintext tables
+// (0 = GOMAXPROCS, 1 = sequential).
+func EncryptDatabaseParallel(plain *storage.Catalog, design *Design, ks *KeyStore, par int) (*DB, error) {
 	eng := engine.New(plain)
+	eng.Parallelism = par
 	db := &DB{
 		Cat:    storage.NewCatalog(),
 		Stores: make(map[string]*packing.Store),

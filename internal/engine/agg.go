@@ -53,17 +53,22 @@ func (c *execCtx) collectAggSpecs(q *ast.Query) []aggSpec {
 	return specs
 }
 
-// builtinAggState accumulates one builtin aggregate.
+// builtinAggState accumulates one builtin aggregate. DISTINCT states keep
+// the deduplicated values in first-occurrence row order so shard partials
+// can replay unseen values during merge deterministically: shard partials
+// merge in shard order, so the replay order equals the first-occurrence
+// order of a sequential scan.
 type builtinAggState struct {
-	fn       ast.AggFunc
-	distinct bool
-	seen     map[string]bool
-	count    int64
-	sumI     int64
-	sumF     float64
-	isFloat  bool
-	hasVal   bool
-	minMax   value.Value
+	fn           ast.AggFunc
+	distinct     bool
+	seen         map[string]bool
+	distinctVals []value.Value // seen values in first-occurrence order
+	count        int64
+	sumI         int64
+	sumF         float64
+	isFloat      bool
+	hasVal       bool
+	minMax       value.Value
 }
 
 func (s *builtinAggState) add(v value.Value) {
@@ -79,7 +84,13 @@ func (s *builtinAggState) add(v value.Value) {
 			return
 		}
 		s.seen[k] = true
+		s.distinctVals = append(s.distinctVals, v)
 	}
+	s.accumulate(v)
+}
+
+// accumulate folds one (already dedup'd) value into the running state.
+func (s *builtinAggState) accumulate(v value.Value) {
 	s.count++
 	switch s.fn {
 	case ast.AggSum, ast.AggAvg:
@@ -98,6 +109,46 @@ func (s *builtinAggState) add(v value.Value) {
 		}
 	}
 	s.hasVal = true
+}
+
+// merge folds a shard partial (same aggregate over a disjoint, later row
+// range) into s. DISTINCT partials replay only values s has not seen, in
+// the partial's first-occurrence order.
+func (s *builtinAggState) merge(o *builtinAggState) {
+	if s.distinct {
+		if s.seen == nil {
+			s.seen = make(map[string]bool)
+		}
+		for _, v := range o.distinctVals {
+			k := v.HashKey()
+			if s.seen[k] {
+				continue
+			}
+			s.seen[k] = true
+			s.distinctVals = append(s.distinctVals, v)
+			s.accumulate(v)
+		}
+		return
+	}
+	s.count += o.count
+	s.sumI += o.sumI
+	s.sumF += o.sumF
+	if o.isFloat {
+		s.isFloat = true
+	}
+	if o.hasVal {
+		switch s.fn {
+		case ast.AggMin:
+			if !s.hasVal || value.Compare(o.minMax, s.minMax) < 0 {
+				s.minMax = o.minMax
+			}
+		case ast.AggMax:
+			if !s.hasVal || value.Compare(o.minMax, s.minMax) > 0 {
+				s.minMax = o.minMax
+			}
+		}
+		s.hasVal = true
+	}
 }
 
 func (s *builtinAggState) result() value.Value {
@@ -126,38 +177,60 @@ func (s *builtinAggState) result() value.Value {
 	return value.NewNull()
 }
 
-// execGrouped handles the aggregation path: GROUP BY (possibly empty =
-// single group), aggregate computation, HAVING, projection, ORDER BY.
-func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation, error) {
-	specs := c.collectAggSpecs(q)
-	aliases := aliasMap(q)
+// aggGroup holds one group's accumulation state: one slot per aggSpec,
+// exactly one of builtins[i]/udfs[i] non-nil.
+type aggGroup struct {
+	firstRow []value.Value
+	builtins []*builtinAggState
+	udfs     []AggState
+}
 
-	type group struct {
-		firstRow []value.Value
-		builtins []*builtinAggState
-		udfs     []AggState
-	}
-	newGroup := func(row []value.Value) (*group, error) {
-		g := &group{firstRow: row}
-		for _, sp := range specs {
-			if sp.agg != nil {
-				g.builtins = append(g.builtins, &builtinAggState{fn: sp.agg.Func, distinct: sp.agg.Distinct})
-				g.udfs = append(g.udfs, nil)
-				continue
-			}
-			f, ok := c.eng.aggs[strings.ToLower(sp.udf.Name)]
-			if !ok {
-				return nil, fmt.Errorf("engine: unregistered aggregate UDF %s", sp.udf.Name)
-			}
-			g.builtins = append(g.builtins, nil)
-			g.udfs = append(g.udfs, f(c.stats))
+// newAggGroup creates fresh states for one group. UDF states capture c's
+// stats, so they must be created on the context that will call Result.
+func (c *execCtx) newAggGroup(specs []aggSpec, row []value.Value) (*aggGroup, error) {
+	g := &aggGroup{firstRow: row}
+	for _, sp := range specs {
+		if sp.agg != nil {
+			g.builtins = append(g.builtins, &builtinAggState{fn: sp.agg.Func, distinct: sp.agg.Distinct})
+			g.udfs = append(g.udfs, nil)
+			continue
 		}
-		return g, nil
+		f, ok := c.eng.aggs[strings.ToLower(sp.udf.Name)]
+		if !ok {
+			return nil, fmt.Errorf("engine: unregistered aggregate UDF %s", sp.udf.Name)
+		}
+		g.builtins = append(g.builtins, nil)
+		g.udfs = append(g.udfs, f(c.stats))
 	}
+	return g, nil
+}
 
-	groups := make(map[string]*group)
-	var order []string // group key order of first appearance
-	for _, row := range in.rows {
+// merge folds another group's partial states (same specs, disjoint rows,
+// later shard) into g.
+func (g *aggGroup) merge(o *aggGroup) error {
+	for i := range g.builtins {
+		if g.builtins[i] != nil {
+			g.builtins[i].merge(o.builtins[i])
+			continue
+		}
+		if err := g.udfs[i].Merge(o.udfs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupSet is an insertion-ordered collection of groups.
+type groupSet struct {
+	m     map[string]*aggGroup
+	order []string // group keys in order of first appearance
+}
+
+// accumulateGroups folds rows [lo,hi) of in into a fresh groupSet,
+// evaluating GROUP BY keys and aggregate arguments on c.
+func (c *execCtx) accumulateGroups(q *ast.Query, specs []aggSpec, in *relation, outer *env, lo, hi int) (*groupSet, error) {
+	gs := &groupSet{m: make(map[string]*aggGroup)}
+	for _, row := range in.rows[lo:hi] {
 		en := &env{rel: in, row: row, outer: outer, ctx: c}
 		var kb strings.Builder
 		for _, g := range q.GroupBy {
@@ -169,15 +242,15 @@ func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation
 			kb.WriteByte(0)
 		}
 		key := kb.String()
-		grp, ok := groups[key]
+		grp, ok := gs.m[key]
 		if !ok {
 			var err error
-			grp, err = newGroup(row)
+			grp, err = c.newAggGroup(specs, row)
 			if err != nil {
 				return nil, err
 			}
-			groups[key] = grp
-			order = append(order, key)
+			gs.m[key] = grp
+			gs.order = append(gs.order, key)
 		}
 		for i, sp := range specs {
 			switch {
@@ -207,22 +280,86 @@ func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation
 			}
 		}
 	}
+	return gs, nil
+}
+
+// groupingExprs gathers the expressions the accumulation loop evaluates per
+// row: GROUP BY keys and aggregate arguments.
+func groupingExprs(q *ast.Query, specs []aggSpec) []ast.Expr {
+	out := append([]ast.Expr(nil), q.GroupBy...)
+	for _, sp := range specs {
+		if sp.agg != nil {
+			if !sp.agg.Star {
+				out = append(out, sp.agg.Arg)
+			}
+			continue
+		}
+		out = append(out, sp.udf.Args...)
+	}
+	return out
+}
+
+// buildGroups accumulates in's rows into groups, sharding across workers
+// when the context allows. Shard partials merge in shard order into fresh
+// states created on c, so order-sensitive UDF states observe their inputs
+// in the original row order and capture c's stats for Result.
+func (c *execCtx) buildGroups(q *ast.Query, specs []aggSpec, in *relation, outer *env) (*groupSet, error) {
+	shards := c.shardCount(len(in.rows))
+	if shards <= 1 || !parallelSafe(outer, groupingExprs(q, specs)...) {
+		return c.accumulateGroups(q, specs, in, outer, 0, len(in.rows))
+	}
+	parts, err := shardedCollect(c, shards, len(in.rows), func(sc *execCtx, lo, hi int) (*groupSet, error) {
+		return sc.accumulateGroups(q, specs, in, outer, lo, hi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := &groupSet{m: make(map[string]*aggGroup)}
+	for _, part := range parts {
+		for _, key := range part.order {
+			grp, ok := merged.m[key]
+			if !ok {
+				grp, err = c.newAggGroup(specs, part.m[key].firstRow)
+				if err != nil {
+					return nil, err
+				}
+				merged.m[key] = grp
+				merged.order = append(merged.order, key)
+			}
+			if err := grp.merge(part.m[key]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return merged, nil
+}
+
+// execGrouped handles the aggregation path: GROUP BY (possibly empty =
+// single group), aggregate computation, HAVING, projection, ORDER BY.
+func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation, error) {
+	specs := c.collectAggSpecs(q)
+	aliases := aliasMap(q)
+
+	groups, err := c.buildGroups(q, specs, in, outer)
+	if err != nil {
+		return nil, err
+	}
 
 	// A query with aggregates but no GROUP BY produces exactly one group,
 	// even over zero input rows.
-	if len(q.GroupBy) == 0 && len(order) == 0 {
-		grp, err := newGroup(nil)
+	if len(q.GroupBy) == 0 && len(groups.order) == 0 {
+		grp, err := c.newAggGroup(specs, nil)
 		if err != nil {
 			return nil, err
 		}
-		groups[""] = grp
-		order = append(order, "")
+		groups.m[""] = grp
+		groups.order = append(groups.order, "")
 	}
 
 	outCols := projectionCols(q)
-	outRows := make([]keyedRow, 0, len(order))
-	for _, key := range order {
-		grp := groups[key]
+	outRows := make([]keyedRow, 0, len(groups.order))
+	for _, key := range groups.order {
+		grp := groups.m[key]
 		aggVals := make(map[string]value.Value, len(specs))
 		for i, sp := range specs {
 			if sp.agg != nil {

@@ -63,10 +63,20 @@ func (r *Result) Bytes() int64 {
 }
 
 // Engine executes queries against a catalog.
+//
+// Parallelism sets the worker count for sharded execution: scans, filters,
+// hash-join probes, projection, and grouped aggregation are partitioned
+// into contiguous row-range shards executed concurrently, with per-shard
+// aggregation states combined by AggState.Merge. Values < 1 mean
+// GOMAXPROCS; 1 forces the fully sequential path. The knob must not be
+// changed while queries are in flight; concurrent Execute calls on one
+// engine are otherwise safe (execution state is per-call, and catalogs are
+// read-only during execution).
 type Engine struct {
-	Cat     *storage.Catalog
-	scalars map[string]ScalarUDF
-	aggs    map[string]AggUDFFactory
+	Cat         *storage.Catalog
+	Parallelism int
+	scalars     map[string]ScalarUDF
+	aggs        map[string]AggUDFFactory
 }
 
 // New creates an engine over the catalog.
@@ -82,8 +92,17 @@ func New(cat *storage.Catalog) *Engine {
 type ScalarUDF func(st *Stats, args []value.Value) (value.Value, error)
 
 // AggState accumulates one group's values for an aggregate UDF.
+//
+// Merge folds a partial state — produced by the same factory over a
+// disjoint, earlier-or-later row shard of the same group — into the
+// receiver. Sharded grouped aggregation accumulates one state per
+// (shard, group) and merges them in shard order, so an implementation that
+// is order-sensitive (e.g. concatenation) sees its inputs in the original
+// row order. After a state has been merged from, it is discarded; Merge
+// may therefore steal its buffers.
 type AggState interface {
 	Add(args []value.Value) error
+	Merge(other AggState) error
 	Result() (value.Value, error)
 }
 
@@ -104,7 +123,11 @@ func (e *Engine) IsAggUDF(name string) bool {
 
 // Execute runs q with the given parameter bindings.
 func (e *Engine) Execute(q *ast.Query, params map[string]value.Value) (*Result, error) {
-	ctx := &execCtx{eng: e, params: params, stats: &Stats{}, subq: make(map[*ast.Query]*subqPlan)}
+	ctx := &execCtx{
+		eng: e, params: params, stats: &Stats{},
+		subq: make(map[*ast.Query]*subqPlan),
+		par:  e.effectiveParallelism(),
+	}
 	rel, err := ctx.execQuery(q, nil)
 	if err != nil {
 		return nil, err
@@ -123,6 +146,7 @@ type execCtx struct {
 	params map[string]value.Value
 	stats  *Stats
 	subq   map[*ast.Query]*subqPlan
+	par    int // worker count for sharded loops (1 = sequential)
 }
 
 // colInfo names one relation column.
@@ -207,19 +231,10 @@ func (c *execCtx) execSource(q *ast.Query, outer *env) (*relation, error) {
 
 	// Residual filters (multi-table non-equi predicates, subqueries).
 	if len(residual) > 0 {
-		pred := ast.AndAll(residual)
-		out := joined.rows[:0:0]
-		for _, row := range joined.rows {
-			en := &env{rel: joined, row: row, outer: outer, ctx: c}
-			ok, err := evalBool(en, pred)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, row)
-			}
+		joined, err = c.filter(joined, ast.AndAll(residual), outer)
+		if err != nil {
+			return nil, err
 		}
-		joined = &relation{cols: joined.cols, rows: out}
 	}
 	return joined, nil
 }
@@ -305,25 +320,39 @@ func (c *execCtx) execProject(q *ast.Query, in *relation, outer *env) (*relation
 	outCols := projectionCols(q)
 	aliases := aliasMap(q)
 	nOrder := len(q.OrderBy)
-	outRows := make([]keyedRow, 0, len(in.rows))
-	for _, row := range in.rows {
-		en := &env{rel: in, row: row, outer: outer, aliases: aliases, ctx: c}
-		vals, err := projectRow(en, q)
-		if err != nil {
+	projectShard := func(sc *execCtx, out []keyedRow, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			en := &env{rel: in, row: in.rows[i], outer: outer, aliases: aliases, ctx: sc}
+			vals, err := projectRow(en, q)
+			if err != nil {
+				return err
+			}
+			k := keyedRow{row: vals}
+			if nOrder > 0 {
+				k.keys = make([]value.Value, nOrder)
+				for j, o := range q.OrderBy {
+					v, err := eval(en, o.Expr)
+					if err != nil {
+						return err
+					}
+					k.keys[j] = v
+				}
+			}
+			out[i-lo] = k
+		}
+		return nil
+	}
+
+	outRows := make([]keyedRow, len(in.rows))
+	shards := c.shardCount(len(in.rows))
+	if shards > 1 && parallelSafe(outer, projectionExprs(q)...) {
+		if _, err := shardedCollect(c, shards, len(in.rows), func(sc *execCtx, lo, hi int) (struct{}, error) {
+			return struct{}{}, projectShard(sc, outRows[lo:hi], lo, hi)
+		}); err != nil {
 			return nil, err
 		}
-		k := keyedRow{row: vals}
-		if nOrder > 0 {
-			k.keys = make([]value.Value, nOrder)
-			for i, o := range q.OrderBy {
-				v, err := eval(en, o.Expr)
-				if err != nil {
-					return nil, err
-				}
-				k.keys[i] = v
-			}
-		}
-		outRows = append(outRows, k)
+	} else if err := projectShard(c, outRows, 0, len(in.rows)); err != nil {
+		return nil, err
 	}
 	sortKeyed(outRows, q.OrderBy)
 	rows := make([][]value.Value, len(outRows))
@@ -331,6 +360,19 @@ func (c *execCtx) execProject(q *ast.Query, in *relation, outer *env) (*relation
 		rows[i] = k.row
 	}
 	return &relation{cols: outCols, rows: rows}, nil
+}
+
+// projectionExprs gathers every expression execProject evaluates per row:
+// the SELECT list plus ORDER BY keys (which may expand SELECT aliases).
+func projectionExprs(q *ast.Query) []ast.Expr {
+	var out []ast.Expr
+	for _, p := range q.Projections {
+		out = append(out, p.Expr)
+	}
+	for _, o := range q.OrderBy {
+		out = append(out, o.Expr)
+	}
+	return out
 }
 
 // projectionCols derives output column names from the SELECT list.

@@ -74,3 +74,43 @@ func BenchmarkDecorrelatedExists10k(b *testing.B) {
 	runBench(b, `SELECT COUNT(*) FROM dims WHERE EXISTS (
 		SELECT 1 FROM facts WHERE f_dim = d_id AND f_val > 900)`, 10000)
 }
+
+// Sharded-execution benchmarks: the same queries at parallelism 1 (the
+// sequential path) and at increasing worker counts. On a multi-core host
+// the p>1 variants show the multi-core speedup of the sharded scan,
+// filter, probe, and grouped-aggregation loops; on a single core they
+// bound the sharding overhead.
+
+func benchParallelLevels(b *testing.B, sql string, rows int) {
+	b.Helper()
+	e := benchEngine(b, rows)
+	q := sqlparser.MustParse(sql)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			e.Parallelism = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Execute(q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupedAggregate200k is TPC-H-Q1-shaped grouped aggregation
+// (few groups, several aggregates per row) over 200k rows — the paper's
+// server-side hot path and the headline case for sharded execution.
+func BenchmarkGroupedAggregate200k(b *testing.B) {
+	benchParallelLevels(b,
+		`SELECT f_dim, SUM(f_val), COUNT(*), AVG(f_val), MIN(f_val), MAX(f_val)
+		   FROM facts GROUP BY f_dim`, 200000)
+}
+
+func BenchmarkScanFilter200k(b *testing.B) {
+	benchParallelLevels(b, `SELECT f_id FROM facts WHERE f_val > 500`, 200000)
+}
+
+func BenchmarkHashJoinProbe200k(b *testing.B) {
+	benchParallelLevels(b, `SELECT COUNT(*) FROM facts, dims WHERE f_dim = d_id AND f_val > 250`, 200000)
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/sqlparser"
@@ -371,6 +372,15 @@ func (s *sumUDF) Add(args []value.Value) error {
 	s.n += args[0].AsInt()
 	return nil
 }
+func (s *sumUDF) Merge(other AggState) error {
+	o, ok := other.(*sumUDF)
+	if !ok {
+		return fmt.Errorf("merge of mismatched state %T", other)
+	}
+	s.n += o.n
+	return nil
+}
+
 func (s *sumUDF) Result() (value.Value, error) { return value.NewInt(s.n), nil }
 
 func TestAggregateUDF(t *testing.T) {

@@ -196,18 +196,36 @@ func sideTable(e ast.Expr, refNames []string, rels []*relation) int {
 	return idx
 }
 
-// filter applies a predicate to a relation.
+// filter applies a predicate to a relation, sharding across workers when
+// the predicate is subquery-free and the relation is large enough. Shard
+// outputs concatenate in shard order, preserving row order.
 func (c *execCtx) filter(r *relation, pred ast.Expr, outer *env) (*relation, error) {
-	out := r.rows[:0:0]
-	for _, row := range r.rows {
-		en := &env{rel: r, row: row, outer: outer, ctx: c}
-		ok, err := evalBool(en, pred)
+	filterShard := func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
+		var out [][]value.Value
+		for _, row := range r.rows[lo:hi] {
+			en := &env{rel: r, row: row, outer: outer, ctx: sc}
+			ok, err := evalBool(en, pred)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	}
+
+	shards := c.shardCount(len(r.rows))
+	if shards <= 1 || !parallelSafe(outer, pred) {
+		out, err := filterShard(c, 0, len(r.rows))
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			out = append(out, row)
-		}
+		return &relation{cols: r.cols, rows: out}, nil
+	}
+	out, err := c.shardedRows(shards, len(r.rows), filterShard)
+	if err != nil {
+		return nil, err
 	}
 	return &relation{cols: r.cols, rows: out}, nil
 }
@@ -228,22 +246,42 @@ func (c *execCtx) hashJoin(left, right *relation, leftKeys, rightKeys []ast.Expr
 		build[key] = append(build[key], row)
 	}
 	cols := append(append([]colInfo(nil), left.cols...), right.cols...)
-	var out [][]value.Value
-	for _, lrow := range left.rows {
-		en := &env{rel: left, row: lrow, outer: outer, ctx: c}
-		key, null, err := joinKey(en, leftKeys)
+
+	// Probe phase: shard the probe side when the keys are subquery-free;
+	// per-shard outputs concatenate in shard order, matching the
+	// sequential emit order.
+	probeShard := func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
+		var out [][]value.Value
+		for _, lrow := range left.rows[lo:hi] {
+			en := &env{rel: left, row: lrow, outer: outer, ctx: sc}
+			key, null, err := joinKey(en, leftKeys)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue
+			}
+			for _, rrow := range build[key] {
+				combined := make([]value.Value, 0, len(lrow)+len(rrow))
+				combined = append(combined, lrow...)
+				combined = append(combined, rrow...)
+				out = append(out, combined)
+			}
+		}
+		return out, nil
+	}
+
+	shards := c.shardCount(len(left.rows))
+	if shards <= 1 || !parallelSafe(outer, leftKeys...) {
+		out, err := probeShard(c, 0, len(left.rows))
 		if err != nil {
 			return nil, err
 		}
-		if null {
-			continue
-		}
-		for _, rrow := range build[key] {
-			combined := make([]value.Value, 0, len(lrow)+len(rrow))
-			combined = append(combined, lrow...)
-			combined = append(combined, rrow...)
-			out = append(out, combined)
-		}
+		return &relation{cols: cols, rows: out}, nil
+	}
+	out, err := c.shardedRows(shards, len(left.rows), probeShard)
+	if err != nil {
+		return nil, err
 	}
 	return &relation{cols: cols, rows: out}, nil
 }

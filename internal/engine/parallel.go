@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Sharded execution. The engine parallelizes its row-at-a-time hot loops —
+// filtering, hash-join probing, projection, and grouped aggregation — by
+// partitioning the input relation into contiguous row-range shards executed
+// by a worker pool. Shards accumulate into shard-local state (stats, group
+// maps, output buffers) that is merged back in shard order, so the output —
+// row order, group first-appearance order, and first-error choice — is
+// byte-identical to the sequential path, with one carve-out: SUM/AVG over
+// Float columns associates the float additions per shard rather than in
+// one left fold, so those aggregates can differ from the sequential result
+// in the last ULP (deterministically, for a fixed shard count).
+//
+// Expressions containing subqueries opt a loop out of sharding: subquery
+// plans are memoized lazily on the execution context and their evaluation
+// is not synchronized. Everything else an expression can touch during
+// evaluation (relations, params, the catalog, registered UDFs) is read-only
+// while a query runs.
+
+// minShardRows is the smallest row range worth a goroutine; relations
+// smaller than two shards' worth always run sequentially.
+const minShardRows = 32
+
+// effectiveParallelism resolves the engine's Parallelism knob: values < 1
+// mean "use every core" (GOMAXPROCS), 1 forces the sequential path.
+func (e *Engine) effectiveParallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardCount decides how many shards to split n rows into: at most the
+// context's parallelism, and never so many that a shard drops below
+// minShardRows.
+func (c *execCtx) shardCount(n int) int {
+	if c.par <= 1 || n < 2*minShardRows {
+		return 1
+	}
+	s := n / minShardRows
+	if s > c.par {
+		s = c.par
+	}
+	return s
+}
+
+// shardBounds returns the half-open row ranges [lo,hi) of each shard,
+// splitting n rows as evenly as possible.
+func shardBounds(n, shards int) [][2]int {
+	out := make([][2]int, shards)
+	lo := 0
+	for i := 0; i < shards; i++ {
+		hi := lo + (n-lo)/(shards-i)
+		out[i] = [2]int{lo, hi}
+		lo = hi
+	}
+	return out
+}
+
+// parallelDo runs fn(0..shards-1) on separate goroutines and returns the
+// first error in shard order (matching the row order a sequential scan
+// would have hit it in).
+func parallelDo(shards int, fn func(shard int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	wg.Add(shards)
+	for i := 0; i < shards; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardCtx creates a child context for one shard: it shares the engine and
+// params (both read-only during execution), accumulates stats locally, and
+// never spawns nested shards. It gets its own subquery-plan map, though
+// parallelSafe guards keep subqueries off sharded loops entirely.
+func (c *execCtx) shardCtx() *execCtx {
+	return &execCtx{eng: c.eng, params: c.params, stats: &Stats{}, subq: make(map[*ast.Query]*subqPlan), par: 1}
+}
+
+// shardedCollect splits n input rows into shards, runs fn over each shard
+// on its own child context, and returns the per-shard results in shard
+// order. Shard stats fold into c after the barrier; on error no stats are
+// folded (the query is abandoned anyway).
+func shardedCollect[T any](c *execCtx, shards, n int, fn func(sc *execCtx, lo, hi int) (T, error)) ([]T, error) {
+	bounds := shardBounds(n, shards)
+	parts := make([]T, shards)
+	stats := make([]Stats, shards)
+	err := parallelDo(shards, func(s int) error {
+		sc := c.shardCtx()
+		out, err := fn(sc, bounds[s][0], bounds[s][1])
+		if err != nil {
+			return err
+		}
+		parts[s] = out
+		stats[s] = *sc.stats
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
+		c.stats.Add(st)
+	}
+	return parts, nil
+}
+
+// shardedRows is shardedCollect for row-producing shards, concatenating
+// the per-shard outputs in shard order (preserving input row order).
+func (c *execCtx) shardedRows(shards, n int, fn func(sc *execCtx, lo, hi int) ([][]value.Value, error)) ([][]value.Value, error) {
+	parts, err := shardedCollect(c, shards, n, fn)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([][]value.Value, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// parallelSafe reports whether a row loop evaluating the given expressions
+// may be sharded. Two things force the sequential path:
+//
+//   - a non-nil outer environment: evaluation can escape into the
+//     enclosing scope (alias fallback expands outer SELECT expressions on
+//     the enclosing context), whose stats and subquery plans are not
+//     synchronized — and naive correlated subqueries re-enter per outer
+//     row anyway, where nested sharding would multiply goroutines;
+//   - a subquery in any expression: subquery planning memoizes state on
+//     the shared context.
+func parallelSafe(outer *env, exprs ...ast.Expr) bool {
+	if outer != nil {
+		return false
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if ast.HasSubquery(e) {
+			return false
+		}
+	}
+	return true
+}

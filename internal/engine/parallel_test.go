@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Sharded-execution equivalence: every query shape must produce results
+// byte-identical to the sequential path at every parallelism level, and
+// concurrent use of one engine must be race-free (run with -race).
+
+// parallelFixture builds facts(f_id, f_dim, f_val, f_tag) with rows rows
+// and dims(d_id, d_name) with 100 rows, seeded pseudo-random.
+func parallelFixture(t testing.TB, rows int) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	cat := storage.NewCatalog()
+	facts, err := cat.Create(storage.Schema{
+		Name: "facts",
+		Cols: []storage.Column{
+			{Name: "f_id", Type: storage.TInt},
+			{Name: "f_dim", Type: storage.TInt},
+			{Name: "f_val", Type: storage.TInt},
+			{Name: "f_tag", Type: storage.TStr},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims, err := cat.Create(storage.Schema{
+		Name: "dims",
+		Cols: []storage.Column{
+			{Name: "d_id", Type: storage.TInt},
+			{Name: "d_name", Type: storage.TStr},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := []string{"red", "green", "blue", "cyan"}
+	for i := 0; i < rows; i++ {
+		facts.MustInsert([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(100)),
+			value.NewInt(rng.Int63n(1000)),
+			value.NewStr(tags[rng.Intn(len(tags))]),
+		})
+	}
+	for i := 0; i < 100; i++ {
+		dims.MustInsert([]value.Value{value.NewInt(int64(i)), value.NewStr(fmt.Sprintf("dim-%02d", i))})
+	}
+	return New(cat)
+}
+
+// equivalenceQueries covers each sharded loop: filter, hash-join probe,
+// projection with ORDER BY, grouped aggregation (builtin, DISTINCT, UDF,
+// star, empty input), HAVING, and the subquery fallback path.
+var equivalenceQueries = []string{
+	`SELECT f_id FROM facts WHERE f_val > 500`,
+	`SELECT f_id, f_val * 2 + 1 FROM facts WHERE f_val < 900 ORDER BY f_val DESC, f_id LIMIT 37`,
+	`SELECT DISTINCT f_tag FROM facts ORDER BY f_tag`,
+	`SELECT f_dim, SUM(f_val), COUNT(*), AVG(f_val), MIN(f_val), MAX(f_val)
+	   FROM facts GROUP BY f_dim ORDER BY f_dim`,
+	`SELECT COUNT(DISTINCT f_val), SUM(DISTINCT f_val) FROM facts`,
+	`SELECT f_tag, COUNT(DISTINCT f_dim) FROM facts GROUP BY f_tag ORDER BY f_tag`,
+	`SELECT SUM(f_val), COUNT(*) FROM facts WHERE f_id < 700`,
+	`SELECT SUM(f_val) FROM facts WHERE f_val > 100000`,
+	`SELECT f_dim, SUM(f_val) s FROM facts GROUP BY f_dim HAVING s > 3000 ORDER BY s DESC, f_dim`,
+	`SELECT d_name, SUM(f_val), my_sum(f_val) FROM facts, dims
+	   WHERE f_dim = d_id AND f_val > 250 GROUP BY d_name ORDER BY d_name`,
+	`SELECT COUNT(*) FROM facts, dims WHERE f_dim = d_id AND f_val + d_id < 400`,
+	`SELECT COUNT(*) FROM dims WHERE EXISTS (
+	   SELECT 1 FROM facts WHERE f_dim = d_id AND f_val > 900)`,
+	`SELECT f_dim FROM facts WHERE f_val = (SELECT MAX(f_val) FROM facts)`,
+}
+
+func registerMySum(e *Engine) {
+	e.RegisterAgg("my_sum", func(st *Stats) AggState { return &sumUDF{} })
+}
+
+func renderResult(t *testing.T, r *Result) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Cols, ","))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	e := parallelFixture(t, 2000)
+	registerMySum(e)
+	for _, sql := range equivalenceQueries {
+		q := sqlparser.MustParse(sql)
+		e.Parallelism = 1
+		seqRes, seqErr := e.Execute(q, nil)
+		for _, p := range []int{2, 3, 8, 64} {
+			e.Parallelism = p
+			res, err := e.Execute(q, nil)
+			if (err == nil) != (seqErr == nil) {
+				t.Fatalf("p=%d err=%v, sequential err=%v\n%s", p, err, seqErr, sql)
+			}
+			if err != nil {
+				continue
+			}
+			if got, want := renderResult(t, res), renderResult(t, seqRes); got != want {
+				t.Errorf("p=%d diverges on %s\ngot:\n%s\nwant:\n%s", p, sql, got, want)
+			}
+			// Stats that drive the cost model must not depend on sharding.
+			if res.Stats.BytesScanned != seqRes.Stats.BytesScanned ||
+				res.Stats.RowsScanned != seqRes.Stats.RowsScanned ||
+				res.Stats.RowsOut != seqRes.Stats.RowsOut {
+				t.Errorf("p=%d stats diverge on %s: %+v vs %+v", p, sql, res.Stats, seqRes.Stats)
+			}
+		}
+	}
+}
+
+// TestParallelErrorMatchesSequential checks that an evaluation error deep in
+// a later shard surfaces identically to the sequential scan.
+func TestParallelErrorMatchesSequential(t *testing.T) {
+	e := parallelFixture(t, 500)
+	// The failing aggregate only sees rows past the filter, which all land
+	// in late shards; the error must still surface exactly once.
+	q := sqlparser.MustParse(`SELECT f_dim, my_bad(f_val) FROM facts WHERE f_id >= 400 GROUP BY f_dim`)
+	e.RegisterAgg("my_bad", func(st *Stats) AggState { return &badUDF{} })
+	e.Parallelism = 1
+	_, seqErr := e.Execute(q, nil)
+	if seqErr == nil {
+		t.Fatal("expected sequential error")
+	}
+	e.Parallelism = 4
+	_, parErr := e.Execute(q, nil)
+	if parErr == nil || parErr.Error() != seqErr.Error() {
+		t.Fatalf("parallel err %v, sequential err %v", parErr, seqErr)
+	}
+}
+
+type badUDF struct{}
+
+func (b *badUDF) Add(args []value.Value) error { return fmt.Errorf("engine: my_bad always fails") }
+func (b *badUDF) Merge(other AggState) error   { return nil }
+func (b *badUDF) Result() (value.Value, error) { return value.NewNull(), nil }
+
+// TestBuiltinAggMerge exercises shard-partial merging directly, including
+// DISTINCT replay and empty partials.
+func TestBuiltinAggMerge(t *testing.T) {
+	mk := func(fn ast.AggFunc, distinct bool, vals ...int64) *builtinAggState {
+		s := &builtinAggState{fn: fn, distinct: distinct}
+		for _, v := range vals {
+			s.add(value.NewInt(v))
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		a, b *builtinAggState
+		want string
+	}{
+		{"sum", mk(ast.AggSum, false, 1, 2), mk(ast.AggSum, false, 3), "6"},
+		{"sum-empty-right", mk(ast.AggSum, false, 5), mk(ast.AggSum, false), "5"},
+		{"sum-empty-left", mk(ast.AggSum, false), mk(ast.AggSum, false, 7), "7"},
+		{"sum-both-empty", mk(ast.AggSum, false), mk(ast.AggSum, false), "NULL"},
+		{"count", mk(ast.AggCount, false, 1, 1), mk(ast.AggCount, false, 1), "3"},
+		{"avg", mk(ast.AggAvg, false, 1, 2), mk(ast.AggAvg, false, 6), "3"},
+		{"min", mk(ast.AggMin, false, 5, 9), mk(ast.AggMin, false, 3), "3"},
+		{"max", mk(ast.AggMax, false, 5), mk(ast.AggMax, false, 2, 4), "5"},
+		{"min-empty-right", mk(ast.AggMin, false, 5), mk(ast.AggMin, false), "5"},
+		{"sum-distinct", mk(ast.AggSum, true, 1, 2, 2), mk(ast.AggSum, true, 2, 3), "6"},
+		{"count-distinct", mk(ast.AggCount, true, 1, 2), mk(ast.AggCount, true, 2, 3, 3), "3"},
+	}
+	for _, tc := range cases {
+		tc.a.merge(tc.b)
+		if got := tc.a.result().String(); got != tc.want {
+			t.Errorf("%s: merged result = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentExecutes runs many goroutines against one engine, each
+// executing sharded queries, and checks every result against the expected
+// sequential output. Run with -race to surface data races in the sharded
+// paths.
+func TestConcurrentExecutes(t *testing.T) {
+	e := parallelFixture(t, 1200)
+	registerMySum(e)
+	queries := make([]*ast.Query, len(equivalenceQueries))
+	want := make([]string, len(equivalenceQueries))
+	e.Parallelism = 1
+	for i, sql := range equivalenceQueries {
+		queries[i] = sqlparser.MustParse(sql)
+		res, err := e.Execute(queries[i], nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		want[i] = renderResult(t, res)
+	}
+	e.Parallelism = 4
+
+	const workers = 8
+	const iters = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				for i, q := range queries {
+					res, err := e.Execute(q, nil)
+					if err != nil {
+						errs <- fmt.Errorf("%s: %v", equivalenceQueries[i], err)
+						return
+					}
+					if got := renderResult(t, res); got != want[i] {
+						errs <- fmt.Errorf("%s: diverged under concurrency", equivalenceQueries[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{{10, 3}, {100, 7}, {64, 2}, {5, 5}, {0, 1}} {
+		b := shardBounds(tc.n, tc.shards)
+		if len(b) != tc.shards {
+			t.Fatalf("shardBounds(%d,%d) has %d shards", tc.n, tc.shards, len(b))
+		}
+		prev := 0
+		for _, r := range b {
+			if r[0] != prev || r[1] < r[0] {
+				t.Fatalf("shardBounds(%d,%d) = %v not contiguous", tc.n, tc.shards, b)
+			}
+			prev = r[1]
+		}
+		if prev != tc.n {
+			t.Fatalf("shardBounds(%d,%d) = %v does not cover n", tc.n, tc.shards, b)
+		}
+	}
+}

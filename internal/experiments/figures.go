@@ -181,11 +181,15 @@ type Fig5Result struct {
 	PerQuery map[int][]time.Duration // query -> per-level time
 }
 
-// Figure5 runs every query at every cumulative level.
-func Figure5(sf tpch.ScaleFactor, seed int64, bits int) (*Fig5Result, error) {
+// Figure5 runs every query at every cumulative level. par is the
+// sharded-execution worker count for every level's system (0 =
+// GOMAXPROCS, 1 = sequential).
+func Figure5(sf tpch.ScaleFactor, seed int64, bits, par int) (*Fig5Result, error) {
 	res := &Fig5Result{Levels: Fig5Levels, PerQuery: make(map[int][]time.Duration)}
 	for level := range Fig5Levels {
-		b, err := Setup(levelConfig(level, sf, seed, bits))
+		cfg := levelConfig(level, sf, seed, bits)
+		cfg.Parallelism = par
+		b, err := Setup(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("level %q: %w", Fig5Levels[level], err)
 		}

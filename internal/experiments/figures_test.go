@@ -60,10 +60,31 @@ func TestFigure4Shapes(t *testing.T) {
 		t.Errorf("MONOMI median slowdown %.2fx is out of the expected band", mm)
 	}
 	// Per-query: the planner should never lose badly to greedy (§8.3:
-	// "never worse than Execution-Greedy").
+	// "never worse than Execution-Greedy"). Figure4 times each query with
+	// a single shot, so on a loaded host a scheduling hiccup during one
+	// MONOMI run can fake a violation; confirm with a re-measurement of
+	// both sides before failing.
+	exceeds := func(monomi, greedy time.Duration) bool {
+		return monomi > greedy*12/10+10*time.Millisecond
+	}
 	for _, row := range fig.Rows {
-		if row.Monomi > row.Greedy*12/10+10*time.Millisecond {
-			t.Errorf("Q%d: MONOMI %v worse than Execution-Greedy %v", row.Query, row.Monomi, row.Greedy)
+		if !exceeds(row.Monomi, row.Greedy) {
+			continue
+		}
+		rg, err := s.Greedy.RunEncrypted(row.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := s.Monomi.RunEncrypted(row.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exceeds(rm.Total(), rg.Total()) {
+			t.Errorf("Q%d: MONOMI %v worse than Execution-Greedy %v (confirmed %v vs %v)",
+				row.Query, row.Monomi, row.Greedy, rm.Total(), rg.Total())
+		} else {
+			t.Logf("Q%d: single-shot outlier %v vs %v not confirmed (%v vs %v)",
+				row.Query, row.Monomi, row.Greedy, rm.Total(), rg.Total())
 		}
 	}
 }

@@ -49,6 +49,10 @@ type Config struct {
 	Queries []int
 	// Net overrides the simulated link/disk; zero value uses Default.
 	Net netsim.Config
+	// Parallelism is the sharded-execution worker count for the server,
+	// the client's local operators, and the plaintext baseline; 0 means
+	// GOMAXPROCS, 1 forces sequential execution.
+	Parallelism int
 }
 
 // MonomiConfig is the full system at the given scale.
@@ -135,7 +139,7 @@ func Setup(cfg Config) (*Bench, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := enc.EncryptDatabase(cat, dres.Design, ks)
+	db, err := enc.EncryptDatabaseParallel(cat, dres.Design, ks, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +147,7 @@ func Setup(cfg Config) (*Bench, error) {
 	dres.Context.EnablePrefilter = !cfg.DisablePrefilter
 	cl := client.New(ks, srv, dres.Context, cfg.Net)
 	cl.Greedy = cfg.GreedyExecution
-	return &Bench{
+	b := &Bench{
 		Config: cfg,
 		Plain:  cat,
 		Engine: engine.New(cat),
@@ -152,7 +156,18 @@ func Setup(cfg Config) (*Bench, error) {
 		DB:     db,
 		Client: cl,
 		Net:    cfg.Net,
-	}, nil
+	}
+	b.SetParallelism(cfg.Parallelism)
+	return b, nil
+}
+
+// SetParallelism sets the sharded-execution worker count on the encrypted
+// client/server pair and the plaintext baseline engine (see
+// Config.Parallelism). Not safe while queries are in flight.
+func (b *Bench) SetParallelism(p int) {
+	b.Client.Srv.SetParallelism(p)
+	b.Client.Parallelism = p
+	b.Engine.Parallelism = p
 }
 
 // PlainResult is a plaintext-baseline execution with simulated timings.

@@ -76,7 +76,9 @@ type Fig9Result struct {
 
 // Figure9 builds the three designs and measures every query, flagging those
 // whose runtime moved by more than 10% (the paper plots Q1, Q6, Q14, Q18).
-func Figure9(sf tpch.ScaleFactor, seed int64, bits int) (*Fig9Result, error) {
+// par is the sharded-execution worker count for each system (0 =
+// GOMAXPROCS, 1 = sequential).
+func Figure9(sf tpch.ScaleFactor, seed int64, bits, par int) (*Fig9Result, error) {
 	mk := func(budget float64, greedy bool) (*Bench, error) {
 		cfg := MonomiConfig(sf)
 		cfg.Seed = seed
@@ -84,6 +86,7 @@ func Figure9(sf tpch.ScaleFactor, seed int64, bits int) (*Fig9Result, error) {
 		cfg.Designer.SpaceBudget = budget
 		cfg.Designer.SpaceGreedy = greedy
 		cfg.Name = fmt.Sprintf("S=%.1f greedy=%v", budget, greedy)
+		cfg.Parallelism = par
 		return Setup(cfg)
 	}
 	s2, err := mk(2.0, false)

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/big"
+	"sort"
+	"sync"
 
 	"repro/internal/crypto/paillier"
 )
@@ -45,9 +47,24 @@ type Partial struct {
 	Cipher *big.Int
 }
 
-// HomSum aggregates the given row IDs on the server. rowIDs need not be
-// sorted; duplicates are rejected.
+// HomSum aggregates the given row IDs on the server sequentially. rowIDs
+// need not be sorted; duplicates are rejected.
 func HomSum(s *Store, rowIDs []int) (*SumResult, error) {
+	return HomSumParallel(s, rowIDs, 1)
+}
+
+// minPacksPerShard is the smallest ciphertext batch worth a goroutine: a
+// modular multiplication of 2,048-bit ciphertexts is expensive, but not so
+// expensive that two of them justify a spawn.
+const minPacksPerShard = 16
+
+// HomSumParallel is HomSum with the modular multiplications of
+// fully-matched packs batched into per-shard ciphertext products computed
+// by parallelism workers, whose partial products then combine. The result
+// is identical to the sequential fold (ciphertext multiplication mod N² is
+// commutative and associative); MulOps counts every multiplication
+// performed, which the sharding does not change.
+func HomSumParallel(s *Store, rowIDs []int, parallelism int) (*SumResult, error) {
 	type packAcc struct {
 		mask  uint64
 		count int
@@ -70,20 +87,54 @@ func HomSum(s *Store, rowIDs []int) (*SumResult, error) {
 		acc.mask |= bit
 		acc.count++
 	}
+
+	// Split packs into fully matched (foldable server-side) and partial
+	// (shipped whole with a row mask). Visiting packs in index order keeps
+	// the output — and the wire encoding — deterministic regardless of map
+	// iteration order.
+	ids := make([]int, 0, len(packs))
+	for p := range packs {
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
 	res := &SumResult{}
-	for p, acc := range packs {
+	var full []*big.Int
+	for _, p := range ids {
+		acc := packs[p]
 		res.ReadSize += int64(s.CipherBytes())
 		if acc.count == s.RowsInPack(p) {
-			if res.Product == nil {
-				res.Product = new(big.Int).Set(s.Ciphers[p])
-			} else {
-				res.Product = s.Key.AddCipher(res.Product, s.Ciphers[p])
-				res.MulOps++
-			}
+			full = append(full, s.Ciphers[p])
 			continue
 		}
 		res.Partials = append(res.Partials, Partial{Mask: acc.mask, Cipher: s.Ciphers[p]})
 	}
+	if len(full) == 0 {
+		return res, nil
+	}
+	res.MulOps = len(full) - 1
+
+	shards := parallelism
+	if max := len(full) / minPacksPerShard; shards > max {
+		shards = max
+	}
+	if shards <= 1 {
+		res.Product = s.Key.ProductCipher(full)
+		return res, nil
+	}
+	partials := make([]*big.Int, shards)
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	lo := 0
+	for i := 0; i < shards; i++ {
+		hi := lo + (len(full)-lo)/(shards-i)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partials[i] = s.Key.ProductCipher(full[lo:hi])
+		}(i, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	res.Product = s.Key.ProductCipher(partials)
 	return res, nil
 }
 

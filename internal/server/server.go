@@ -16,6 +16,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/ast"
@@ -28,16 +29,22 @@ import (
 	"repro/internal/wire"
 )
 
-// packingHomSum is packing.HomSum, indirected for clarity at the call site.
-func packingHomSum(store *packing.Store, rowIDs []int) (*packing.SumResult, error) {
-	return packing.HomSum(store, rowIDs)
+// packingHomSum batches a group's Paillier ciphertext multiplications,
+// sharding the modular products across the server's workers.
+func (s *Server) packingHomSum(store *packing.Store, rowIDs []int) (*packing.SumResult, error) {
+	return packing.HomSumParallel(store, rowIDs, s.parallelism())
 }
 
 // Server hosts one encrypted database.
+//
+// Parallelism is the worker count for sharded query execution and batched
+// Paillier multiplication; values < 1 mean GOMAXPROCS, 1 forces sequential
+// execution. Set it via SetParallelism so the embedded engine stays in sync.
 type Server struct {
-	DB     *enc.DB
-	Engine *engine.Engine
-	Cfg    netsim.Config
+	DB          *enc.DB
+	Engine      *engine.Engine
+	Cfg         netsim.Config
+	Parallelism int
 }
 
 // New creates a server over an encrypted database.
@@ -47,6 +54,20 @@ func New(db *enc.DB, cfg netsim.Config) *Server {
 	s.Engine.RegisterAgg("group_concat", newGroupConcat)
 	s.Engine.RegisterScalar("search_match", searchMatch)
 	return s
+}
+
+// SetParallelism sets the worker count for the server and its engine.
+func (s *Server) SetParallelism(p int) {
+	s.Parallelism = p
+	s.Engine.Parallelism = p
+}
+
+// parallelism resolves the knob (values < 1 mean GOMAXPROCS).
+func (s *Server) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Response carries an executed RemoteSQL result plus its simulated timings.
@@ -105,6 +126,28 @@ func (p *paillierSumState) Add(args []value.Value) error {
 	return nil
 }
 
+// Merge folds a shard partial into p: row-ID lists over disjoint row
+// ranges simply concatenate, deferring all modular multiplication to
+// Result.
+func (p *paillierSumState) Merge(other engine.AggState) error {
+	o, ok := other.(*paillierSumState)
+	if !ok {
+		return fmt.Errorf("server: PAILLIER_SUM merge of %T", other)
+	}
+	if p.group == "" {
+		p.group = o.group
+	} else if o.group != "" && o.group != p.group {
+		return fmt.Errorf("server: PAILLIER_SUM merge across groups %q and %q", p.group, o.group)
+	}
+	p.sawRows = p.sawRows || o.sawRows
+	if len(p.rowIDs) == 0 {
+		p.rowIDs = o.rowIDs
+	} else {
+		p.rowIDs = append(p.rowIDs, o.rowIDs...)
+	}
+	return nil
+}
+
 // Result multiplies the matching ciphertexts and returns the wire blob.
 func (p *paillierSumState) Result() (value.Value, error) {
 	if p.group == "" || len(p.rowIDs) == 0 {
@@ -119,7 +162,7 @@ func (p *paillierSumState) Result() (value.Value, error) {
 		return value.Value{}, fmt.Errorf("server: no ciphertext group %q", p.group)
 	}
 	start := time.Now()
-	res, err := packingHomSum(store, p.rowIDs)
+	res, err := p.srv.packingHomSum(store, p.rowIDs)
 	if err != nil {
 		return value.Value{}, err
 	}
@@ -142,6 +185,21 @@ func (g *groupConcatState) Add(args []value.Value) error {
 		return fmt.Errorf("server: GROUP_CONCAT expects 1 argument")
 	}
 	g.buf = wire.AppendValue(g.buf, args[0])
+	return nil
+}
+
+// Merge appends a shard partial's frames. Shards merge in row order, so the
+// concatenation matches a sequential scan.
+func (g *groupConcatState) Merge(other engine.AggState) error {
+	o, ok := other.(*groupConcatState)
+	if !ok {
+		return fmt.Errorf("server: GROUP_CONCAT merge of %T", other)
+	}
+	if len(g.buf) == 0 {
+		g.buf = o.buf
+	} else {
+		g.buf = append(g.buf, o.buf...)
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/crypto/search"
 	"repro/internal/enc"
+	"repro/internal/engine"
 	"repro/internal/netsim"
 	"repro/internal/packing"
 	"repro/internal/sqlparser"
@@ -126,6 +127,113 @@ func TestSearchMatchUDF(t *testing.T) {
 	}
 	if resp.Result.Rows[0][0].AsInt() != 0 {
 		t.Error("cross-key token must not match")
+	}
+}
+
+// TestAggStateMerge exercises the shard-partial Merge path of both server
+// UDAF states, including type-mismatch and cross-group errors.
+func TestAggStateMerge(t *testing.T) {
+	srv, _ := fixture(t)
+	st := &engine.Stats{}
+
+	a := srv.newPaillierSum(st).(*paillierSumState)
+	b := srv.newPaillierSum(st).(*paillierSumState)
+	g := value.NewStr("g1")
+	if err := a.Add([]value.Value{g, value.NewInt(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]value.Value{g, value.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]value.Value{g, value.NewNull()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.rowIDs) != 2 || a.rowIDs[0] != 0 || a.rowIDs[1] != 1 {
+		t.Errorf("merged rowIDs = %v", a.rowIDs)
+	}
+	if !a.sawRows || a.group != "g1" {
+		t.Errorf("merged state = %+v", a)
+	}
+	// Empty receiver adopts the partial's group.
+	empty := srv.newPaillierSum(st).(*paillierSumState)
+	if err := empty.Merge(a); err != nil || empty.group != "g1" || len(empty.rowIDs) != 2 {
+		t.Errorf("empty merge: err=%v state=%+v", err, empty)
+	}
+	// Cross-group merges are a sharding bug and must fail loudly.
+	other := srv.newPaillierSum(st).(*paillierSumState)
+	if err := other.Add([]value.Value{value.NewStr("g2"), value.NewInt(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(other); err == nil {
+		t.Error("cross-group merge should fail")
+	}
+	if err := a.Merge(newGroupConcat(st)); err == nil {
+		t.Error("cross-type merge should fail")
+	}
+
+	// GROUP_CONCAT merge preserves frame order: shard 1 then shard 2.
+	c1 := newGroupConcat(st).(*groupConcatState)
+	c2 := newGroupConcat(st).(*groupConcatState)
+	for i, s := range []*groupConcatState{c1, c1, c2} {
+		if err := s.Add([]value.Value{value.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Merge(c2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c1.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := wire.DecodeAll(res.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0].AsInt() != 0 || vals[1].AsInt() != 1 || vals[2].AsInt() != 2 {
+		t.Errorf("merged concat = %v", vals)
+	}
+	if err := c1.Merge(a); err == nil {
+		t.Error("cross-type concat merge should fail")
+	}
+}
+
+// TestServerParallelMatchesSequential runs the UDAF queries at several
+// parallelism levels and requires identical wire results.
+func TestServerParallelMatchesSequential(t *testing.T) {
+	srv, _ := fixture(t)
+	group := srv.DB.Meta["t"].Groups[0]
+	queries := []string{
+		`SELECT k_det, paillier_sum('` + group.Name + `', row_id) FROM t GROUP BY k_det`,
+		`SELECT k_det, group_concat(s_srch) FROM t GROUP BY k_det`,
+	}
+	for _, sql := range queries {
+		q := sqlparser.MustParse(sql)
+		srv.SetParallelism(1)
+		want, err := srv.Execute(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 8} {
+			srv.SetParallelism(p)
+			got, err := srv.Execute(q, nil)
+			if err != nil {
+				t.Fatalf("p=%d: %v", p, err)
+			}
+			if len(got.Result.Rows) != len(want.Result.Rows) {
+				t.Fatalf("p=%d: %d rows, want %d", p, len(got.Result.Rows), len(want.Result.Rows))
+			}
+			for i := range want.Result.Rows {
+				for j := range want.Result.Rows[i] {
+					if want.Result.Rows[i][j].String() != got.Result.Rows[i][j].String() {
+						t.Errorf("p=%d: row %d col %d diverges", p, i, j)
+					}
+				}
+			}
+		}
 	}
 }
 

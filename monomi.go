@@ -27,6 +27,21 @@
 //	    "top": "SELECT o_cust, SUM(o_total) FROM orders GROUP BY o_cust",
 //	}, monomi.DefaultOptions())
 //	rows, err := sys.Query("SELECT o_cust, SUM(o_total) t FROM orders GROUP BY o_cust ORDER BY t DESC")
+//
+// # Parallel sharded execution
+//
+// Both sides of the split execute in parallel: scans, filters, hash-join
+// probes, projection, and grouped aggregation are partitioned into
+// contiguous row-range shards run by a worker pool, and the server batches
+// each shard's Paillier ciphertext multiplications into modular products.
+// Per-shard aggregation states recombine through a partial-state Merge
+// (engine.AggState.Merge): shards merge in row order, so results — group
+// order, row order, ciphertext concatenations, even the wire encoding of
+// homomorphic sums — are identical to sequential execution, except that
+// SUM/AVG over Float columns may differ from the sequential fold in the
+// last ULP (per-shard partial sums regroup the float additions). The
+// worker count is Options.Parallelism (default GOMAXPROCS; 1 forces the
+// sequential path) and can be changed later with System.SetParallelism.
 package monomi
 
 import (
@@ -155,6 +170,17 @@ type Options struct {
 	// ProfileCosts measures real per-op decryption costs at startup
 	// (§6.4's profiler) instead of using calibrated defaults.
 	ProfileCosts bool
+	// Parallelism is the worker count for sharded query execution on both
+	// sides of the split: the untrusted server partitions its scans,
+	// filters, joins, and grouped aggregation into contiguous row-range
+	// shards (per-shard aggregation states recombine with AggState.Merge,
+	// and each shard batches its Paillier ciphertext multiplications), and
+	// the trusted client runs its residual local operators the same way.
+	// 0 (the default) uses GOMAXPROCS; 1 forces fully sequential
+	// execution. Results are identical at every level, except SUM/AVG
+	// over Float columns, which may differ in the last ULP (see the
+	// package doc).
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's configuration: 1,024-bit Paillier,
@@ -215,17 +241,29 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	encDB, err := enc.EncryptDatabase(db.cat, dres.Design, ks)
+	encDB, err := enc.EncryptDatabaseParallel(db.cat, dres.Design, ks, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	srv := server.New(encDB, net)
 	dres.Context.EnablePrefilter = true
 	cl := client.New(ks, srv, dres.Context, net)
-	return &System{
+	sys := &System{
 		db: db, keys: ks, design: dres, encDB: encDB, client: cl,
 		plain: engine.New(db.cat), net: net,
-	}, nil
+	}
+	sys.SetParallelism(opts.Parallelism)
+	return sys, nil
+}
+
+// SetParallelism changes the worker count for sharded execution on the
+// server, the client's local operators, and the plaintext baseline engine
+// (see Options.Parallelism). It must not be called while queries are in
+// flight.
+func (s *System) SetParallelism(p int) {
+	s.client.Srv.SetParallelism(p)
+	s.client.Parallelism = p
+	s.plain.Parallelism = p
 }
 
 // Rows is a plaintext query result.
