@@ -30,6 +30,7 @@ func main() {
 	bits := flag.Int("paillier", 512, "Paillier modulus bits (paper: 1024)")
 	maxK := flag.Int("maxk", 4, "maximum designer subset size for fig8")
 	par := flag.Int("parallelism", 0, "sharded-execution workers (0 = GOMAXPROCS, 1 = sequential)")
+	batch := flag.Int("batchsize", 0, "streamed-execution batch size for suite experiments (0 = materialized)")
 	flag.Parse()
 
 	scale := tpch.ScaleFactor(*sf)
@@ -45,6 +46,7 @@ func main() {
 		}
 		for _, b := range []*experiments.Bench{suite.Monomi, suite.Greedy, suite.CryptDB} {
 			b.SetParallelism(*par)
+			b.SetBatchSize(*batch)
 		}
 	}
 

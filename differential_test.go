@@ -11,15 +11,21 @@ import (
 
 // Differential property test: a seeded random query generator runs the same
 // queries through the plaintext engine and the encrypted split-execution
-// path and requires identical results — at several parallelism levels, so
-// the sharded engine, the AggState merge path, and the batched Paillier
-// aggregation are all exercised against the sequential baseline.
+// path and requires identical results — crossing parallelism levels with
+// streaming on/off, so the sharded engine, the AggState merge path, the
+// batched Paillier aggregation, and the batch-at-a-time scan pipeline are
+// all exercised against the sequential materialized baseline.
 
 const (
 	diffRows    = 260 // enough rows that sharding kicks in (minShardRows*2 per shard)
 	diffQueries = 24  // random queries per template set
 	diffSeed    = 20130826
 )
+
+// diffBatchSizes crosses materialized execution (0) with a streamed batch
+// size small enough that diffRows spans several batches, exercising
+// batch-boundary filters inside every generated query.
+var diffBatchSizes = []int{0, 64}
 
 // diffSystem builds sales(s_id, s_cat, s_qty, s_price, s_date) with seeded
 // random rows and encrypts it under a workload broad enough that the
@@ -142,23 +148,26 @@ func TestDifferentialRandomQueries(t *testing.T) {
 	queries := genQueries(rand.New(rand.NewSource(diffSeed+1)), diffQueries)
 	for _, par := range []int{1, 2, 4} {
 		sys.SetParallelism(par)
-		for _, q := range queries {
-			plain, err := sys.QueryPlaintext(q.sql)
-			if err != nil {
-				t.Fatalf("p=%d plaintext %s: %v", par, q.sql, err)
-			}
-			enc, err := sys.Query(q.sql)
-			if err != nil {
-				t.Fatalf("p=%d encrypted %s: %v", par, q.sql, err)
-			}
-			want := canonicalRows(t, plain.Data, q.ordered)
-			got := canonicalRows(t, enc.Data, q.ordered)
-			if len(got) != len(want) {
-				t.Fatalf("p=%d %s: %d rows, plaintext %d", par, q.sql, len(got), len(want))
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Errorf("p=%d %s\nrow %d: encrypted %q, plaintext %q", par, q.sql, i, got[i], want[i])
+		for _, bs := range diffBatchSizes {
+			sys.SetBatchSize(bs)
+			for _, q := range queries {
+				plain, err := sys.QueryPlaintext(q.sql)
+				if err != nil {
+					t.Fatalf("p=%d bs=%d plaintext %s: %v", par, bs, q.sql, err)
+				}
+				enc, err := sys.Query(q.sql)
+				if err != nil {
+					t.Fatalf("p=%d bs=%d encrypted %s: %v", par, bs, q.sql, err)
+				}
+				want := canonicalRows(t, plain.Data, q.ordered)
+				got := canonicalRows(t, enc.Data, q.ordered)
+				if len(got) != len(want) {
+					t.Fatalf("p=%d bs=%d %s: %d rows, plaintext %d", par, bs, q.sql, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("p=%d bs=%d %s\nrow %d: encrypted %q, plaintext %q", par, bs, q.sql, i, got[i], want[i])
+					}
 				}
 			}
 		}
@@ -166,13 +175,16 @@ func TestDifferentialRandomQueries(t *testing.T) {
 }
 
 // TestDifferentialParallelismInvariance pins the encrypted results
-// themselves across parallelism levels: integer aggregates must be
-// byte-identical whether computed sequentially or sharded.
+// themselves across execution modes: integer aggregates must be
+// byte-identical whether computed sequentially, sharded, streamed, or
+// both — every ⟨parallelism, batch size⟩ combination against the
+// sequential materialized baseline.
 func TestDifferentialParallelismInvariance(t *testing.T) {
 	sys := diffSystem(t)
 	queries := genQueries(rand.New(rand.NewSource(diffSeed+2)), 12)
 	base := make([][]string, len(queries))
 	sys.SetParallelism(1)
+	sys.SetBatchSize(0)
 	for i, q := range queries {
 		res, err := sys.Query(q.sql)
 		if err != nil {
@@ -180,16 +192,22 @@ func TestDifferentialParallelismInvariance(t *testing.T) {
 		}
 		base[i] = canonicalRows(t, res.Data, true)
 	}
-	for _, par := range []int{2, 4} {
+	for _, par := range []int{1, 2, 4} {
 		sys.SetParallelism(par)
-		for i, q := range queries {
-			res, err := sys.Query(q.sql)
-			if err != nil {
-				t.Fatalf("p=%d %s: %v", par, q.sql, err)
+		for _, bs := range diffBatchSizes {
+			if par == 1 && bs == 0 {
+				continue // the baseline itself
 			}
-			got := canonicalRows(t, res.Data, true)
-			if strings.Join(got, "\n") != strings.Join(base[i], "\n") {
-				t.Errorf("p=%d %s diverges from sequential:\n%v\nvs\n%v", par, q.sql, got, base[i])
+			sys.SetBatchSize(bs)
+			for i, q := range queries {
+				res, err := sys.Query(q.sql)
+				if err != nil {
+					t.Fatalf("p=%d bs=%d %s: %v", par, bs, q.sql, err)
+				}
+				got := canonicalRows(t, res.Data, true)
+				if strings.Join(got, "\n") != strings.Join(base[i], "\n") {
+					t.Errorf("p=%d bs=%d %s diverges from sequential materialized:\n%v\nvs\n%v", par, bs, q.sql, got, base[i])
+				}
 			}
 		}
 	}

@@ -38,8 +38,11 @@ type Client struct {
 	// plan's residual operators over decrypted temp tables; values < 1
 	// mean GOMAXPROCS, 1 forces sequential execution.
 	Parallelism int
-	cache       *decryptCache
-	packCache   packing.PlainCache
+	// BatchSize > 0 streams eligible local queries batch-at-a-time through
+	// those engines (0 = materialized); it mirrors the server-side knob.
+	BatchSize int
+	cache     *decryptCache
+	packCache packing.PlainCache
 }
 
 // New creates a client. ctx must be built over the plaintext schema with
@@ -138,6 +141,7 @@ func (c *Client) finishPlan(plan *planner.Plan, cat *storage.Catalog, res *Resul
 	start := time.Now()
 	eng := engine.New(cat)
 	eng.Parallelism = c.Parallelism
+	eng.BatchSize = c.BatchSize
 	out, err := eng.Execute(plan.Local, nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: local query: %w", err)

@@ -226,17 +226,31 @@ type groupSet struct {
 	order []string // group keys in order of first appearance
 }
 
+// newGroupSet creates an empty groupSet.
+func newGroupSet() *groupSet { return &groupSet{m: make(map[string]*aggGroup)} }
+
 // accumulateGroups folds rows [lo,hi) of in into a fresh groupSet,
 // evaluating GROUP BY keys and aggregate arguments on c.
 func (c *execCtx) accumulateGroups(q *ast.Query, specs []aggSpec, in *relation, outer *env, lo, hi int) (*groupSet, error) {
-	gs := &groupSet{m: make(map[string]*aggGroup)}
-	for _, row := range in.rows[lo:hi] {
-		en := &env{rel: in, row: row, outer: outer, ctx: c}
+	gs := newGroupSet()
+	if err := c.accumulateRows(q, specs, gs, in, in.rows[lo:hi], outer); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// accumulateRows folds one slice of rows into gs. rel supplies only the
+// column layout for name resolution — the rows themselves arrive in the
+// slice, which lets the streaming path feed batches whose relation is
+// never materialized (rel.rows stays nil there).
+func (c *execCtx) accumulateRows(q *ast.Query, specs []aggSpec, gs *groupSet, rel *relation, rows [][]value.Value, outer *env) error {
+	for _, row := range rows {
+		en := &env{rel: rel, row: row, outer: outer, ctx: c}
 		var kb strings.Builder
 		for _, g := range q.GroupBy {
 			v, err := eval(en, g)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			kb.WriteString(v.HashKey())
 			kb.WriteByte(0)
@@ -247,7 +261,7 @@ func (c *execCtx) accumulateGroups(q *ast.Query, specs []aggSpec, in *relation, 
 			var err error
 			grp, err = c.newAggGroup(specs, row)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			gs.m[key] = grp
 			gs.order = append(gs.order, key)
@@ -262,7 +276,7 @@ func (c *execCtx) accumulateGroups(q *ast.Query, specs []aggSpec, in *relation, 
 				}
 				v, err := eval(en, sp.agg.Arg)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				grp.builtins[i].add(v)
 			default:
@@ -270,17 +284,17 @@ func (c *execCtx) accumulateGroups(q *ast.Query, specs []aggSpec, in *relation, 
 				for j, a := range sp.udf.Args {
 					v, err := eval(en, a)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					args[j] = v
 				}
 				if err := grp.udfs[i].Add(args); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
-	return gs, nil
+	return nil
 }
 
 // groupingExprs gathers the expressions the accumulation loop evaluates per
@@ -314,11 +328,20 @@ func (c *execCtx) buildGroups(q *ast.Query, specs []aggSpec, in *relation, outer
 	if err != nil {
 		return nil, err
 	}
-	merged := &groupSet{m: make(map[string]*aggGroup)}
+	return c.mergeGroupParts(specs, parts)
+}
+
+// mergeGroupParts folds per-shard groupSets — in shard order, so group
+// first-appearance order and order-sensitive aggregate states match a
+// sequential scan — into fresh states created on c (whose stats the UDF
+// states must capture for Result).
+func (c *execCtx) mergeGroupParts(specs []aggSpec, parts []*groupSet) (*groupSet, error) {
+	merged := newGroupSet()
 	for _, part := range parts {
 		for _, key := range part.order {
 			grp, ok := merged.m[key]
 			if !ok {
+				var err error
 				grp, err = c.newAggGroup(specs, part.m[key].firstRow)
 				if err != nil {
 					return nil, err
@@ -338,12 +361,20 @@ func (c *execCtx) buildGroups(q *ast.Query, specs []aggSpec, in *relation, outer
 // single group), aggregate computation, HAVING, projection, ORDER BY.
 func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation, error) {
 	specs := c.collectAggSpecs(q)
-	aliases := aliasMap(q)
-
 	groups, err := c.buildGroups(q, specs, in, outer)
 	if err != nil {
 		return nil, err
 	}
+	return c.finishGrouped(q, specs, groups, in, outer)
+}
+
+// finishGrouped turns accumulated groups into output rows: aggregate
+// finalization, HAVING, projection, ORDER BY. in supplies the column
+// layout for name resolution; its rows are never touched (each group's
+// environment row is the group's retained firstRow), so the streaming path
+// passes a relation with nil rows.
+func (c *execCtx) finishGrouped(q *ast.Query, specs []aggSpec, groups *groupSet, in *relation, outer *env) (*relation, error) {
+	aliases := aliasMap(q)
 
 	// A query with aggregates but no GROUP BY produces exactly one group,
 	// even over zero input rows.

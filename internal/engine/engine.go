@@ -3,13 +3,19 @@
 // groups, and sorts — extended with user-defined functions (UDFs) so the
 // untrusted server can operate on ciphertexts (PAILLIER_SUM, GROUP_CONCAT).
 //
-// The executor is materialized (each operator produces a full relation),
-// which is simple and adequate at the data scales this reproduction runs.
-// It supports comma joins with hash-join extraction, correlated and
-// uncorrelated subqueries (with automatic decorrelation of equality-
-// correlated EXISTS/IN/scalar-aggregate subqueries), GROUP BY/HAVING,
-// DISTINCT, ORDER BY and LIMIT. It reports byte-accurate scan statistics
-// that the MONOMI cost model converts to simulated I/O time.
+// The executor has two modes. The materialized mode (each operator
+// produces a full relation) handles everything: comma joins with hash-join
+// extraction, correlated and uncorrelated subqueries (with automatic
+// decorrelation of equality-correlated EXISTS/IN/scalar-aggregate
+// subqueries), GROUP BY/HAVING, DISTINCT, ORDER BY and LIMIT. The
+// streaming mode (Engine.BatchSize > 0; see stream.go) runs single-table
+// scan → filter → projection/aggregation pipelines batch-at-a-time without
+// materializing intermediates — in the spirit of vectorized analytical
+// scan engines such as Polynesia's — and falls back to the materialized
+// operators for everything else. Both modes shard their row loops across
+// Engine.Parallelism workers (see parallel.go) and produce byte-identical
+// results. The engine reports byte-accurate scan statistics that the
+// MONOMI cost model converts to simulated I/O time.
 package engine
 
 import (
@@ -23,13 +29,21 @@ import (
 )
 
 // Stats accumulates execution statistics for one query.
+//
+// A row is RowsScanned exactly once no matter which path reads it: the
+// materialized scan charges the whole table up front, while a streamed scan
+// charges batch by batch as it is pulled — and a streamed pipeline that
+// falls back to a materialized operator mid-query (ORDER BY, DISTINCT)
+// hands over the already-charged rows without re-scanning them.
 type Stats struct {
-	BytesScanned int64 // heap-table bytes read by sequential scans
-	ExtraBytes   int64 // bytes read outside tables (Paillier pack files)
-	RowsScanned  int64 // rows produced by scans
-	RowsOut      int64 // rows in the final result
-	UDFNanos     int64 // wall time spent inside crypto UDFs
-	SubqueryRuns int64 // number of subquery executions (incl. decorrelated)
+	BytesScanned    int64 // heap-table bytes read by sequential scans
+	ExtraBytes      int64 // bytes read outside tables (Paillier pack files)
+	RowsScanned     int64 // rows produced by scans
+	RowsOut         int64 // rows in the final result
+	UDFNanos        int64 // wall time spent inside crypto UDFs
+	SubqueryRuns    int64 // number of subquery executions (incl. decorrelated)
+	RowsStreamed    int64 // rows that entered a batch pipeline from a streamed scan
+	BatchesStreamed int64 // batches emitted by streamed scans
 }
 
 // Add accumulates other into s.
@@ -40,6 +54,8 @@ func (s *Stats) Add(o Stats) {
 	s.RowsOut += o.RowsOut
 	s.UDFNanos += o.UDFNanos
 	s.SubqueryRuns += o.SubqueryRuns
+	s.RowsStreamed += o.RowsStreamed
+	s.BatchesStreamed += o.BatchesStreamed
 }
 
 // Result is a fully materialized query result.
@@ -68,13 +84,21 @@ func (r *Result) Bytes() int64 {
 // hash-join probes, projection, and grouped aggregation are partitioned
 // into contiguous row-range shards executed concurrently, with per-shard
 // aggregation states combined by AggState.Merge. Values < 1 mean
-// GOMAXPROCS; 1 forces the fully sequential path. The knob must not be
-// changed while queries are in flight; concurrent Execute calls on one
-// engine are otherwise safe (execution state is per-call, and catalogs are
-// read-only during execution).
+// GOMAXPROCS; 1 forces the fully sequential path.
+//
+// BatchSize enables the streaming batch-at-a-time pipeline (see stream.go):
+// values > 0 run eligible single-table queries as scan → filter →
+// projection/aggregation over row batches of that size without
+// materializing intermediates (1 degenerates to row-at-a-time streaming);
+// 0, the default, keeps every operator materialized. Results are
+// byte-identical either way. Both knobs must not be changed while queries
+// are in flight; concurrent Execute calls on one engine are otherwise safe
+// (execution state is per-call, and catalogs are read-only during
+// execution).
 type Engine struct {
 	Cat         *storage.Catalog
 	Parallelism int
+	BatchSize   int
 	scalars     map[string]ScalarUDF
 	aggs        map[string]AggUDFFactory
 }
@@ -125,8 +149,9 @@ func (e *Engine) IsAggUDF(name string) bool {
 func (e *Engine) Execute(q *ast.Query, params map[string]value.Value) (*Result, error) {
 	ctx := &execCtx{
 		eng: e, params: params, stats: &Stats{},
-		subq: make(map[*ast.Query]*subqPlan),
-		par:  e.effectiveParallelism(),
+		subq:  make(map[*ast.Query]*subqPlan),
+		par:   e.effectiveParallelism(),
+		batch: e.BatchSize,
 	}
 	rel, err := ctx.execQuery(q, nil)
 	if err != nil {
@@ -147,6 +172,7 @@ type execCtx struct {
 	stats  *Stats
 	subq   map[*ast.Query]*subqPlan
 	par    int // worker count for sharded loops (1 = sequential)
+	batch  int // streamed-scan batch size (<= 0 = materialized)
 }
 
 // colInfo names one relation column.
@@ -183,20 +209,28 @@ func (r *relation) indexOf(table, col string) (int, error) {
 // execQuery runs a full SELECT and returns its output relation. outer is the
 // enclosing row environment for correlated subqueries (nil at top level).
 func (c *execCtx) execQuery(q *ast.Query, outer *env) (*relation, error) {
-	joined, err := c.execSource(q, outer)
+	// Streaming batch-at-a-time path (BatchSize > 0, single-table,
+	// subquery-free); not handled means fall through to the materialized
+	// operators.
+	out, handled, err := c.execStreamed(q, outer)
 	if err != nil {
 		return nil, err
 	}
+	if !handled {
+		joined, err := c.execSource(q, outer)
+		if err != nil {
+			return nil, err
+		}
 
-	// Aggregate or project.
-	var out *relation
-	if c.isGrouped(q) {
-		out, err = c.execGrouped(q, joined, outer)
-	} else {
-		out, err = c.execProject(q, joined, outer)
-	}
-	if err != nil {
-		return nil, err
+		// Aggregate or project.
+		if c.isGrouped(q) {
+			out, err = c.execGrouped(q, joined, outer)
+		} else {
+			out, err = c.execProject(q, joined, outer)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	if q.Distinct {

@@ -114,3 +114,55 @@ func BenchmarkScanFilter200k(b *testing.B) {
 func BenchmarkHashJoinProbe200k(b *testing.B) {
 	benchParallelLevels(b, `SELECT COUNT(*) FROM facts, dims WHERE f_dim = d_id AND f_val > 250`, 200000)
 }
+
+// Streamed-vs-materialized benchmarks: the same scan-shaped queries with
+// the batch-at-a-time pipeline off (materialized intermediates) and on
+// (BatchSize = DefaultBatchSize), at sequential and sharded parallelism.
+// Streaming wins by skipping the materialized filter output and, for
+// LIMIT, by stopping the scan early; results are byte-identical either
+// way (see stream_test.go).
+
+func benchStreamLevels(b *testing.B, sql string, rows int) {
+	b.Helper()
+	e := benchEngine(b, rows)
+	q := sqlparser.MustParse(sql)
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{{"materialized", 0}, {"streamed", DefaultBatchSize}} {
+		for _, p := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/p=%d", mode.name, p), func(b *testing.B) {
+				e.Parallelism, e.BatchSize = p, mode.batch
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Execute(q, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStreamScanFilter200k is the selective-scan hot path: the
+// materialized engine allocates the filtered intermediate, the streamed
+// engine pipelines it away.
+func BenchmarkStreamScanFilter200k(b *testing.B) {
+	benchStreamLevels(b, `SELECT f_id FROM facts WHERE f_val > 500`, 200000)
+}
+
+// BenchmarkStreamGroupedAggregate200k feeds grouped aggregation from the
+// scan→filter stream (per-batch AggState updates) instead of a
+// materialized filter output.
+func BenchmarkStreamGroupedAggregate200k(b *testing.B) {
+	benchStreamLevels(b,
+		`SELECT f_dim, SUM(f_val), COUNT(*), AVG(f_val), MIN(f_val), MAX(f_val)
+		   FROM facts WHERE f_val > 250 GROUP BY f_dim`, 200000)
+}
+
+// BenchmarkStreamLimit200k shows LIMIT early exit: the streamed pipeline
+// stops after a few batches where the materialized scan reads all 200k
+// rows.
+func BenchmarkStreamLimit200k(b *testing.B) {
+	benchStreamLevels(b, `SELECT f_id, f_val FROM facts WHERE f_val > 500 LIMIT 100`, 200000)
+}

@@ -90,9 +90,11 @@ func parallelDo(shards int, fn func(shard int) error) error {
 // shardCtx creates a child context for one shard: it shares the engine and
 // params (both read-only during execution), accumulates stats locally, and
 // never spawns nested shards. It gets its own subquery-plan map, though
-// parallelSafe guards keep subqueries off sharded loops entirely.
+// parallelSafe guards keep subqueries off sharded loops entirely. The
+// batch size carries over so streamed shard workers pull the same batches
+// a sequential stream would.
 func (c *execCtx) shardCtx() *execCtx {
-	return &execCtx{eng: c.eng, params: c.params, stats: &Stats{}, subq: make(map[*ast.Query]*subqPlan), par: 1}
+	return &execCtx{eng: c.eng, params: c.params, stats: &Stats{}, subq: make(map[*ast.Query]*subqPlan), par: 1, batch: c.batch}
 }
 
 // shardedCollect splits n input rows into shards, runs fn over each shard

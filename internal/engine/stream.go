@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"repro/internal/ast"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Streaming batch-at-a-time execution. When Engine.BatchSize > 0, queries
+// whose source is a single base-table scan run through a pull-based
+// (Volcano-style, vectorized) pipeline of fixed-size row batches instead of
+// materializing each operator's full output:
+//
+//	scan ──batch──▶ filter ──batch──▶ project ──batch──▶ sink
+//
+// Only the final result is materialized; the filtered intermediate that the
+// materialized path allocates never exists. Grouped aggregation consumes
+// the scan→filter stream directly — each batch folds into the per-group
+// AggState accumulators (the same states sharded execution merges with
+// AggState.Merge) — so a TPC-H-Q1-shaped scan streams end to end, crypto
+// UDFs included. LIMIT without ORDER BY stops pulling as soon as enough
+// rows have been produced, cutting the scan (and its charged I/O bytes)
+// short.
+//
+// Streaming composes with sharded execution: each worker runs its own
+// iterator chain over its contiguous row range, pulling and pushing batches
+// independently, and the per-shard outputs (row batches or group states)
+// recombine in shard order exactly as the materialized sharded path does.
+// Workers are joined before the query returns — early exit can never leak a
+// goroutine, because no iterator owns one.
+//
+// Operators with no streaming form fall back to the materialized engine:
+// joins, DISTINCT, ORDER BY, and (correlated) subqueries. ORDER BY and
+// DISTINCT over a single-table scan still stream the scan→filter front of
+// the pipeline and materialize only the survivors ("partial" streaming);
+// everything else — multi-table FROM, FROM subqueries, any subquery
+// expression, correlated evaluation under a non-nil outer env — takes the
+// fully materialized path. Results are byte-identical to the materialized
+// path at every batch size and parallelism level, with the same single
+// carve-out documented in parallel.go: SUM/AVG over Float columns may
+// differ in the last ULP when sharded, because per-shard partial sums
+// regroup the float additions (batching alone does not reorder them).
+
+// DefaultBatchSize is the batch size callers that just want streaming
+// should use: large enough to amortize per-batch overhead, small enough
+// that a pipeline's working set stays cache-resident.
+const DefaultBatchSize = 1024
+
+// batchIterator is the pull interface of the streaming pipeline. next
+// returns the next batch of rows, or nil when the stream is exhausted;
+// batches shrink through filters and are never re-compacted, so a batch is
+// only guaranteed non-empty. close releases the stream early (LIMIT
+// cut-off); next after close returns nil. Iterators are single-goroutine:
+// a chain is pulled only by the worker that built it.
+type batchIterator interface {
+	next() ([][]value.Value, error)
+	close()
+}
+
+// scanIterator streams a table's rows [lo,hi) in fixed-size batches,
+// charging scan statistics as the batches are actually pulled: rows
+// per batch, and bytes as the cumulative difference of the table's
+// row-proportional byte prefix, so per-batch charges telescope to exactly
+// t.Bytes for a full scan at any batch size and shard count, while an
+// early-exited scan charges only what it read.
+type scanIterator struct {
+	st        *Stats
+	rows      [][]value.Value // the table's rows, restricted to [lo,hi)
+	off       int             // global index of rows[0] in the table
+	tableRows int
+	bytes     int64 // total table heap bytes
+	size      int   // batch size
+	pos       int
+	closed    bool
+}
+
+func newScanIterator(st *Stats, t *storage.Table, lo, hi, size int) *scanIterator {
+	return &scanIterator{
+		st: st, rows: t.Rows[lo:hi], off: lo,
+		tableRows: len(t.Rows), bytes: t.Bytes, size: size,
+	}
+}
+
+// bytePrefix is the scan-byte charge for the table's first n rows.
+func (it *scanIterator) bytePrefix(n int) int64 {
+	return it.bytes * int64(n) / int64(it.tableRows)
+}
+
+func (it *scanIterator) next() ([][]value.Value, error) {
+	if it.closed || it.pos >= len(it.rows) {
+		return nil, nil
+	}
+	end := it.pos + it.size
+	if end > len(it.rows) {
+		end = len(it.rows)
+	}
+	b := it.rows[it.pos:end]
+	it.st.BytesScanned += it.bytePrefix(it.off+end) - it.bytePrefix(it.off+it.pos)
+	it.st.RowsScanned += int64(len(b))
+	it.st.RowsStreamed += int64(len(b))
+	it.st.BatchesStreamed++
+	it.pos = end
+	return b, nil
+}
+
+func (it *scanIterator) close() { it.closed = true }
+
+// filterIterator applies a predicate row-at-a-time within each batch,
+// emitting the surviving subset (input row order preserved). Batches the
+// predicate empties entirely are skipped, not emitted.
+type filterIterator struct {
+	in    batchIterator
+	rel   *relation // column layout only; rows stay in the batches
+	pred  ast.Expr
+	outer *env
+	c     *execCtx
+}
+
+func (it *filterIterator) next() ([][]value.Value, error) {
+	for {
+		b, err := it.in.next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		var out [][]value.Value
+		for _, row := range b {
+			en := &env{rel: it.rel, row: row, outer: it.outer, ctx: it.c}
+			ok, err := evalBool(en, it.pred)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, row)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (it *filterIterator) close() { it.in.close() }
+
+// projectIterator evaluates the SELECT list for each row of a batch.
+type projectIterator struct {
+	in      batchIterator
+	q       *ast.Query
+	rel     *relation
+	aliases map[string]ast.Expr
+	outer   *env
+	c       *execCtx
+}
+
+func (it *projectIterator) next() ([][]value.Value, error) {
+	b, err := it.in.next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out := make([][]value.Value, len(b))
+	for i, row := range b {
+		en := &env{rel: it.rel, row: row, outer: it.outer, aliases: it.aliases, ctx: it.c}
+		vals, err := projectRow(en, it.q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+func (it *projectIterator) close() { it.in.close() }
+
+// streamPipeline assembles scan → [filter] → [project] over t's rows
+// [lo,hi), evaluating on c (so a shard context accumulates its own stats).
+func (c *execCtx) streamPipeline(q *ast.Query, t *storage.Table, layout *relation, aliases map[string]ast.Expr, outer *env, lo, hi int, project bool) batchIterator {
+	var it batchIterator = newScanIterator(c.stats, t, lo, hi, c.batch)
+	if q.Where != nil {
+		it = &filterIterator{in: it, rel: layout, pred: q.Where, outer: outer, c: c}
+	}
+	if project {
+		it = &projectIterator{in: it, q: q, rel: layout, aliases: aliases, outer: outer, c: c}
+	}
+	return it
+}
+
+// drainLimit pulls a stream to completion, or until limit rows (limit < 0 =
+// unlimited) have been produced — the early exit that lets LIMIT stop the
+// scan partway through the table.
+func drainLimit(it batchIterator, limit int) ([][]value.Value, error) {
+	var out [][]value.Value
+	for {
+		if limit >= 0 && len(out) >= limit {
+			it.close()
+			return out[:limit], nil
+		}
+		b, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b...)
+	}
+}
+
+// streamBlocked reports whether any clause of q contains a subquery, which
+// forces the materialized path (subquery planning memoizes state on the
+// execution context; see parallelSafe).
+func streamBlocked(q *ast.Query) bool {
+	exprs := []ast.Expr{q.Where, q.Having}
+	for _, p := range q.Projections {
+		exprs = append(exprs, p.Expr)
+	}
+	exprs = append(exprs, q.GroupBy...)
+	for _, o := range q.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		if e != nil && ast.HasSubquery(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// execStreamed attempts the batch-at-a-time path for q. It reports
+// handled=false when the query is not streamable (the caller then runs the
+// materialized path); the relation it returns is the pre-DISTINCT,
+// pre-LIMIT output, exactly like execGrouped/execProject return it.
+func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, error) {
+	if c.batch <= 0 || outer != nil || len(q.From) != 1 || q.From[0].Sub != nil || streamBlocked(q) {
+		return nil, false, nil
+	}
+	f := &q.From[0]
+	t, err := c.eng.Cat.Table(f.Name)
+	if err != nil {
+		// Let the materialized path report the unknown table consistently.
+		return nil, false, nil
+	}
+	cols := make([]colInfo, len(t.Schema.Cols))
+	for i, col := range t.Schema.Cols {
+		cols[i] = colInfo{table: f.RefName(), name: col.Name}
+	}
+	layout := &relation{cols: cols}
+
+	if c.isGrouped(q) {
+		out, err := c.execGroupedStream(q, t, layout, outer)
+		return out, true, err
+	}
+
+	if len(q.OrderBy) == 0 && !q.Distinct {
+		rows, err := c.streamProject(q, t, layout, outer)
+		if err != nil {
+			return nil, true, err
+		}
+		return &relation{cols: projectionCols(q), rows: rows}, true, nil
+	}
+
+	// Mid-query fallback: ORDER BY / DISTINCT need a materialized operator.
+	// The scan→filter front of the pipeline still streams; only its
+	// survivors are materialized and handed to the materialized projector.
+	// The scan iterator has already charged BytesScanned/RowsScanned, so
+	// the drained relation must NOT go back through execFrom — that would
+	// double-count the scan.
+	rows, err := c.streamRows(q, t, layout, nil, outer, false, -1)
+	if err != nil {
+		return nil, true, err
+	}
+	out, err := c.execProject(q, &relation{cols: cols, rows: rows}, outer)
+	return out, true, err
+}
+
+// streamProject runs the fully streamed non-grouped pipeline: scan →
+// filter → project, with LIMIT early exit.
+func (c *execCtx) streamProject(q *ast.Query, t *storage.Table, layout *relation, outer *env) ([][]value.Value, error) {
+	return c.streamRows(q, t, layout, aliasMap(q), outer, true, q.Limit)
+}
+
+// streamRows drains the (optionally projecting) pipeline over the whole
+// table, sharding the row range across workers when it is large enough.
+// Each worker pulls batches over its own contiguous range on its own shard
+// context; the per-shard outputs concatenate in shard order, so row order —
+// and therefore the final result — is byte-identical to a sequential
+// stream and to the materialized path. A limit forces the sequential
+// drain: only the global row-prefix matters, so one early-exiting stream
+// is the least work possible, whereas sharding would make every worker
+// scan for up to limit rows of its own range (most of them discarded) and
+// leave the charged scan stats varying with the Parallelism knob.
+func (c *execCtx) streamRows(q *ast.Query, t *storage.Table, layout *relation, aliases map[string]ast.Expr, outer *env, project bool, limit int) ([][]value.Value, error) {
+	n := len(t.Rows)
+	shards := c.shardCount(n)
+	if shards <= 1 || limit >= 0 {
+		return drainLimit(c.streamPipeline(q, t, layout, aliases, outer, 0, n, project), limit)
+	}
+	return c.shardedRows(shards, n, func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
+		return drainLimit(sc.streamPipeline(q, t, layout, aliases, outer, lo, hi, project), limit)
+	})
+}
+
+// execGroupedStream feeds grouped aggregation from the scan→filter stream:
+// each batch folds into the per-group accumulation states, so the filtered
+// input relation is never materialized. Sharded execution accumulates one
+// groupSet per worker range and merges them in shard order through the
+// same AggState.Merge path the materialized sharded engine uses.
+func (c *execCtx) execGroupedStream(q *ast.Query, t *storage.Table, layout *relation, outer *env) (*relation, error) {
+	specs := c.collectAggSpecs(q)
+	n := len(t.Rows)
+	// Eligibility already guarantees parallelSafe: outer is nil and no
+	// clause contains a subquery.
+	shards := c.shardCount(n)
+	var groups *groupSet
+	if shards <= 1 {
+		gs := newGroupSet()
+		if err := c.accumulateStream(q, specs, gs, layout, outer, 0, n, t); err != nil {
+			return nil, err
+		}
+		groups = gs
+	} else {
+		parts, err := shardedCollect(c, shards, n, func(sc *execCtx, lo, hi int) (*groupSet, error) {
+			gs := newGroupSet()
+			if err := sc.accumulateStream(q, specs, gs, layout, outer, lo, hi, t); err != nil {
+				return nil, err
+			}
+			return gs, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		groups, err = c.mergeGroupParts(specs, parts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c.finishGrouped(q, specs, groups, layout, outer)
+}
+
+// accumulateStream pulls the scan→filter pipeline over [lo,hi) and folds
+// each batch into gs.
+func (c *execCtx) accumulateStream(q *ast.Query, specs []aggSpec, gs *groupSet, layout *relation, outer *env, lo, hi int, t *storage.Table) error {
+	it := c.streamPipeline(q, t, layout, nil, outer, lo, hi, false)
+	for {
+		b, err := it.next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if err := c.accumulateRows(q, specs, gs, layout, b, outer); err != nil {
+			return err
+		}
+	}
+}

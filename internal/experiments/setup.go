@@ -53,6 +53,9 @@ type Config struct {
 	// the client's local operators, and the plaintext baseline; 0 means
 	// GOMAXPROCS, 1 forces sequential execution.
 	Parallelism int
+	// BatchSize streams eligible scans batch-at-a-time on the same three
+	// engines when > 0; 0 keeps materialized execution.
+	BatchSize int
 }
 
 // MonomiConfig is the full system at the given scale.
@@ -158,6 +161,7 @@ func Setup(cfg Config) (*Bench, error) {
 		Net:    cfg.Net,
 	}
 	b.SetParallelism(cfg.Parallelism)
+	b.SetBatchSize(cfg.BatchSize)
 	return b, nil
 }
 
@@ -168,6 +172,16 @@ func (b *Bench) SetParallelism(p int) {
 	b.Client.Srv.SetParallelism(p)
 	b.Client.Parallelism = p
 	b.Engine.Parallelism = p
+}
+
+// SetBatchSize sets the streamed-execution batch size on the encrypted
+// client/server pair and the plaintext baseline engine (see
+// Config.BatchSize; 0 = materialized). Not safe while queries are in
+// flight.
+func (b *Bench) SetBatchSize(bs int) {
+	b.Client.Srv.SetBatchSize(bs)
+	b.Client.BatchSize = bs
+	b.Engine.BatchSize = bs
 }
 
 // PlainResult is a plaintext-baseline execution with simulated timings.

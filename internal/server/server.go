@@ -39,12 +39,18 @@ func (s *Server) packingHomSum(store *packing.Store, rowIDs []int) (*packing.Sum
 //
 // Parallelism is the worker count for sharded query execution and batched
 // Paillier multiplication; values < 1 mean GOMAXPROCS, 1 forces sequential
-// execution. Set it via SetParallelism so the embedded engine stays in sync.
+// execution. BatchSize > 0 streams eligible remote scans batch-at-a-time
+// through the embedded engine's pipeline — the common RemoteSQL shape, a
+// single-table scan with encrypted filters feeding PAILLIER_SUM /
+// GROUP_CONCAT aggregation, streams end to end — while 0 keeps execution
+// materialized. Set both via their setters so the embedded engine stays in
+// sync.
 type Server struct {
 	DB          *enc.DB
 	Engine      *engine.Engine
 	Cfg         netsim.Config
 	Parallelism int
+	BatchSize   int
 }
 
 // New creates a server over an encrypted database.
@@ -60,6 +66,13 @@ func New(db *enc.DB, cfg netsim.Config) *Server {
 func (s *Server) SetParallelism(p int) {
 	s.Parallelism = p
 	s.Engine.Parallelism = p
+}
+
+// SetBatchSize sets the streamed-scan batch size for the server and its
+// engine (0 = materialized execution).
+func (s *Server) SetBatchSize(b int) {
+	s.BatchSize = b
+	s.Engine.BatchSize = b
 }
 
 // parallelism resolves the knob (values < 1 mean GOMAXPROCS).

@@ -2,7 +2,9 @@
 // analytical SQL dialect MONOMI handles: SELECT queries with comma joins,
 // correlated and uncorrelated subqueries (scalar, IN, EXISTS), GROUP
 // BY/HAVING, ORDER BY/LIMIT, CASE, EXTRACT, SUBSTRING, LIKE, BETWEEN, and
-// date/interval arithmetic — everything the 19 supported TPC-H queries use.
+// date/interval arithmetic — everything the 19 TPC-H queries the paper's
+// prototype supports (§8.1) use. It stands in for the SQL front end the
+// paper's implementation (§7) borrows from its host DBMS.
 package sqlparser
 
 import (

@@ -5,7 +5,8 @@
 // inserted value contributes its encoded size to per-table and per-column
 // totals. The engine reports bytes scanned per query, which the cost model
 // converts to simulated disk time — this is what makes ciphertext expansion
-// slow queries down the same way it does on the paper's disk-bound setup.
+// slow queries down the same way it does on the paper's disk-bound testbed
+// (§8.1, which flushes caches and caps RAM to keep scans I/O-bound).
 package storage
 
 import (

@@ -1,7 +1,9 @@
 // Package wire frames SQL values for transport between the untrusted
-// server and the trusted client: the GROUP_CONCAT aggregate UDF ships every
-// ciphertext of a group to the client in one framed blob, and the client
-// decodes it back into values to decrypt and aggregate locally.
+// server and the trusted client: the GROUP_CONCAT aggregate UDF — the
+// paper's GROUP() operator for split aggregation over grouped data (§5.3)
+// — ships every ciphertext of a group to the client in one framed blob,
+// and the client decodes it back into values to decrypt and aggregate
+// locally.
 package wire
 
 import (

@@ -42,6 +42,25 @@
 // last ULP (per-shard partial sums regroup the float additions). The
 // worker count is Options.Parallelism (default GOMAXPROCS; 1 forces the
 // sequential path) and can be changed later with System.SetParallelism.
+//
+// # Streaming batch-at-a-time execution
+//
+// Options.BatchSize > 0 additionally streams eligible scans: a
+// single-table query — the shape of most RemoteSQL the planner ships to
+// the untrusted server, and of the local residual queries — executes as a
+// pull pipeline of fixed-size row batches, scan → filter →
+// projection/aggregation, without materializing the filtered intermediate
+// relation. Grouped aggregation (including the crypto UDFs) folds each
+// batch straight into its per-group states, LIMIT stops the scan as soon
+// as enough rows are produced, and streaming composes with sharding: every
+// worker streams its own row range and the per-shard partials merge
+// exactly as in materialized sharded execution. Joins, DISTINCT, ORDER BY
+// and subqueries fall back to the materialized operators (ORDER BY and
+// DISTINCT still stream the scan→filter front). Results are byte-identical
+// to materialized execution at every ⟨BatchSize, Parallelism⟩ combination,
+// with the same float SUM/AVG last-ULP caveat above — it comes from
+// sharding, not from batching. 0 (the default) keeps the materialized
+// executor; the knob can be changed later with System.SetBatchSize.
 package monomi
 
 import (
@@ -181,6 +200,19 @@ type Options struct {
 	// over Float columns, which may differ in the last ULP (see the
 	// package doc).
 	Parallelism int
+	// BatchSize is the streamed-execution batch size on both sides of the
+	// split: when > 0, eligible single-table queries run as a
+	// batch-at-a-time pipeline (scan → filter → projection/aggregation)
+	// instead of materializing every operator's output, on the untrusted
+	// server's encrypted scans and the trusted client's local residual
+	// queries alike. 0 (the default) keeps the fully materialized
+	// executor; 1 streams row-at-a-time (correct but slow — useful only
+	// for testing); 1024 is a good general-purpose size. Results are
+	// byte-identical to materialized execution at every
+	// ⟨BatchSize, Parallelism⟩ combination — streaming never changes rows,
+	// row order, or encodings; the float SUM/AVG last-ULP caveat on
+	// Parallelism is the only exception and is independent of BatchSize.
+	BatchSize int
 }
 
 // DefaultOptions returns the paper's configuration: 1,024-bit Paillier,
@@ -253,6 +285,7 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 		plain: engine.New(db.cat), net: net,
 	}
 	sys.SetParallelism(opts.Parallelism)
+	sys.SetBatchSize(opts.BatchSize)
 	return sys, nil
 }
 
@@ -264,6 +297,16 @@ func (s *System) SetParallelism(p int) {
 	s.client.Srv.SetParallelism(p)
 	s.client.Parallelism = p
 	s.plain.Parallelism = p
+}
+
+// SetBatchSize changes the streamed-execution batch size on the server,
+// the client's local operators, and the plaintext baseline engine (see
+// Options.BatchSize; 0 = materialized). It must not be called while
+// queries are in flight.
+func (s *System) SetBatchSize(b int) {
+	s.client.Srv.SetBatchSize(b)
+	s.client.BatchSize = b
+	s.plain.BatchSize = b
 }
 
 // Rows is a plaintext query result.
