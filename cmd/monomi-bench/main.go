@@ -31,6 +31,7 @@ func main() {
 	maxK := flag.Int("maxk", 4, "maximum designer subset size for fig8")
 	par := flag.Int("parallelism", 0, "sharded-execution workers (0 = GOMAXPROCS, 1 = sequential)")
 	batch := flag.Int("batchsize", 0, "streamed-execution batch size for suite experiments (0 = materialized)")
+	stream := flag.Bool("streamwire", false, "stream encrypted result batches to the client mid-scan (suite experiments)")
 	flag.Parse()
 
 	scale := tpch.ScaleFactor(*sf)
@@ -47,6 +48,7 @@ func main() {
 		for _, b := range []*experiments.Bench{suite.Monomi, suite.Greedy, suite.CryptDB} {
 			b.SetParallelism(*par)
 			b.SetBatchSize(*batch)
+			b.SetStreamWire(*stream)
 		}
 	}
 

@@ -12,9 +12,11 @@ import (
 // Differential property test: a seeded random query generator runs the same
 // queries through the plaintext engine and the encrypted split-execution
 // path and requires identical results — crossing parallelism levels with
-// streaming on/off, so the sharded engine, the AggState merge path, the
-// batched Paillier aggregation, and the batch-at-a-time scan pipeline are
-// all exercised against the sequential materialized baseline.
+// engine streaming on/off and the streamed wire on/off, so the sharded
+// engine, the AggState merge path, the batched Paillier aggregation, the
+// batch-at-a-time scan pipeline, and the streamed wire protocol (server
+// framing batches mid-scan, client decrypting them on concurrent workers)
+// are all exercised against the sequential materialized baseline.
 
 const (
 	diffRows    = 260 // enough rows that sharding kicks in (minShardRows*2 per shard)
@@ -26,6 +28,11 @@ const (
 // size small enough that diffRows spans several batches, exercising
 // batch-boundary filters inside every generated query.
 var diffBatchSizes = []int{0, 64}
+
+// diffStreamWire crosses the materialized wire with the streamed wire
+// (server frames encrypted batches mid-scan; client decrypts them on
+// Parallelism workers, merging in batch order).
+var diffStreamWire = []bool{false, true}
 
 // diffSystem builds sales(s_id, s_cat, s_qty, s_price, s_date) with seeded
 // random rows and encrypts it under a workload broad enough that the
@@ -150,23 +157,26 @@ func TestDifferentialRandomQueries(t *testing.T) {
 		sys.SetParallelism(par)
 		for _, bs := range diffBatchSizes {
 			sys.SetBatchSize(bs)
-			for _, q := range queries {
-				plain, err := sys.QueryPlaintext(q.sql)
-				if err != nil {
-					t.Fatalf("p=%d bs=%d plaintext %s: %v", par, bs, q.sql, err)
-				}
-				enc, err := sys.Query(q.sql)
-				if err != nil {
-					t.Fatalf("p=%d bs=%d encrypted %s: %v", par, bs, q.sql, err)
-				}
-				want := canonicalRows(t, plain.Data, q.ordered)
-				got := canonicalRows(t, enc.Data, q.ordered)
-				if len(got) != len(want) {
-					t.Fatalf("p=%d bs=%d %s: %d rows, plaintext %d", par, bs, q.sql, len(got), len(want))
-				}
-				for i := range want {
-					if got[i] != want[i] {
-						t.Errorf("p=%d bs=%d %s\nrow %d: encrypted %q, plaintext %q", par, bs, q.sql, i, got[i], want[i])
+			for _, sw := range diffStreamWire {
+				sys.SetStreamWire(sw)
+				for _, q := range queries {
+					plain, err := sys.QueryPlaintext(q.sql)
+					if err != nil {
+						t.Fatalf("p=%d bs=%d sw=%v plaintext %s: %v", par, bs, sw, q.sql, err)
+					}
+					enc, err := sys.Query(q.sql)
+					if err != nil {
+						t.Fatalf("p=%d bs=%d sw=%v encrypted %s: %v", par, bs, sw, q.sql, err)
+					}
+					want := canonicalRows(t, plain.Data, q.ordered)
+					got := canonicalRows(t, enc.Data, q.ordered)
+					if len(got) != len(want) {
+						t.Fatalf("p=%d bs=%d sw=%v %s: %d rows, plaintext %d", par, bs, sw, q.sql, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("p=%d bs=%d sw=%v %s\nrow %d: encrypted %q, plaintext %q", par, bs, sw, q.sql, i, got[i], want[i])
+						}
 					}
 				}
 			}
@@ -176,15 +186,16 @@ func TestDifferentialRandomQueries(t *testing.T) {
 
 // TestDifferentialParallelismInvariance pins the encrypted results
 // themselves across execution modes: integer aggregates must be
-// byte-identical whether computed sequentially, sharded, streamed, or
-// both — every ⟨parallelism, batch size⟩ combination against the
-// sequential materialized baseline.
+// byte-identical whether computed sequentially, sharded, streamed, shipped
+// over the streamed wire, or all at once — every ⟨parallelism, batch size,
+// wire⟩ combination against the sequential materialized baseline.
 func TestDifferentialParallelismInvariance(t *testing.T) {
 	sys := diffSystem(t)
 	queries := genQueries(rand.New(rand.NewSource(diffSeed+2)), 12)
 	base := make([][]string, len(queries))
 	sys.SetParallelism(1)
 	sys.SetBatchSize(0)
+	sys.SetStreamWire(false)
 	for i, q := range queries {
 		res, err := sys.Query(q.sql)
 		if err != nil {
@@ -195,18 +206,21 @@ func TestDifferentialParallelismInvariance(t *testing.T) {
 	for _, par := range []int{1, 2, 4} {
 		sys.SetParallelism(par)
 		for _, bs := range diffBatchSizes {
-			if par == 1 && bs == 0 {
-				continue // the baseline itself
-			}
-			sys.SetBatchSize(bs)
-			for i, q := range queries {
-				res, err := sys.Query(q.sql)
-				if err != nil {
-					t.Fatalf("p=%d bs=%d %s: %v", par, bs, q.sql, err)
+			for _, sw := range diffStreamWire {
+				if par == 1 && bs == 0 && !sw {
+					continue // the baseline itself
 				}
-				got := canonicalRows(t, res.Data, true)
-				if strings.Join(got, "\n") != strings.Join(base[i], "\n") {
-					t.Errorf("p=%d bs=%d %s diverges from sequential materialized:\n%v\nvs\n%v", par, bs, q.sql, got, base[i])
+				sys.SetBatchSize(bs)
+				sys.SetStreamWire(sw)
+				for i, q := range queries {
+					res, err := sys.Query(q.sql)
+					if err != nil {
+						t.Fatalf("p=%d bs=%d sw=%v %s: %v", par, bs, sw, q.sql, err)
+					}
+					got := canonicalRows(t, res.Data, true)
+					if strings.Join(got, "\n") != strings.Join(base[i], "\n") {
+						t.Errorf("p=%d bs=%d sw=%v %s diverges from sequential materialized:\n%v\nvs\n%v", par, bs, sw, q.sql, got, base[i])
+					}
 				}
 			}
 		}

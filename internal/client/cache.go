@@ -2,14 +2,28 @@ package client
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/value"
 )
 
+// decryptCacheShards is the lock-striping factor: the streamed wire fans
+// batch decryption across Options.Parallelism workers that all consult the
+// cache, so entries stripe across mutex-guarded shards (capacity split
+// evenly) instead of funneling through one lock.
+const decryptCacheShards = 8
+
 // decryptCache is the paper's client-side decryption cache: 512 entries
 // with a random eviction policy (§8.1). Repeating ciphertexts — DET group
-// keys, dictionary-like columns — decrypt once.
+// keys, dictionary-like columns — decrypt once. Safe for concurrent use;
+// eviction stays random within each shard, which preserves the paper's
+// policy in aggregate.
 type decryptCache struct {
+	shards []*dcShard
+}
+
+type dcShard struct {
+	mu       sync.Mutex
 	capacity int
 	entries  map[string]value.Value
 	keys     []string
@@ -17,35 +31,79 @@ type decryptCache struct {
 }
 
 func newDecryptCache(capacity int) *decryptCache {
-	return &decryptCache{
-		capacity: capacity,
-		entries:  make(map[string]value.Value, capacity),
-		rng:      rand.New(rand.NewSource(0x5eed)),
+	// A cache smaller than the stripe count would leave zero-capacity
+	// shards that silently drop entries; tiny caches keep one shard (and
+	// with it the exact global random-eviction behavior).
+	nshards := decryptCacheShards
+	if capacity < decryptCacheShards {
+		nshards = 1
 	}
+	c := &decryptCache{shards: make([]*dcShard, nshards)}
+	per := capacity / nshards
+	extra := capacity % nshards
+	for i := range c.shards {
+		n := per
+		if i < extra {
+			n++
+		}
+		c.shards[i] = &dcShard{
+			capacity: n,
+			entries:  make(map[string]value.Value, n),
+			rng:      rand.New(rand.NewSource(0x5eed + int64(i))),
+		}
+	}
+	return c
+}
+
+// shard stripes a key with FNV-1a.
+func (c *decryptCache) shard(key string) *dcShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
 }
 
 func (c *decryptCache) get(key string) (value.Value, bool) {
-	v, ok := c.entries[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.entries[key]
 	return v, ok
 }
 
 func (c *decryptCache) put(key string, v value.Value) {
-	if c.capacity <= 0 {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity <= 0 {
 		return
 	}
-	if _, exists := c.entries[key]; exists {
-		c.entries[key] = v
+	if _, exists := s.entries[key]; exists {
+		s.entries[key] = v
 		return
 	}
-	if len(c.keys) >= c.capacity {
-		i := c.rng.Intn(len(c.keys))
-		delete(c.entries, c.keys[i])
-		c.keys[i] = key
+	if len(s.keys) >= s.capacity {
+		i := s.rng.Intn(len(s.keys))
+		delete(s.entries, s.keys[i])
+		s.keys[i] = key
 	} else {
-		c.keys = append(c.keys, key)
+		s.keys = append(s.keys, key)
 	}
-	c.entries[key] = v
+	s.entries[key] = v
 }
 
 // Len reports the number of cached entries (for tests).
-func (c *decryptCache) Len() int { return len(c.entries) }
+func (c *decryptCache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -35,14 +35,22 @@ type Client struct {
 	// Execution-Greedy configuration of §8.3).
 	Greedy bool
 	// Parallelism is the worker count for the local engines that run the
-	// plan's residual operators over decrypted temp tables; values < 1
-	// mean GOMAXPROCS, 1 forces sequential execution.
+	// plan's residual operators over decrypted temp tables, and for the
+	// streamed wire's batch-decryption workers; values < 1 mean GOMAXPROCS,
+	// 1 forces sequential execution.
 	Parallelism int
 	// BatchSize > 0 streams eligible local queries batch-at-a-time through
 	// those engines (0 = materialized); it mirrors the server-side knob.
 	BatchSize int
-	cache     *decryptCache
-	packCache packing.PlainCache
+	// StreamWire switches remote execution to the streamed wire protocol:
+	// the server frames encrypted batches mid-scan and the client decodes
+	// each arriving batch on a pool of Parallelism decrypt workers, merging
+	// decrypted rows in batch order — results are byte-identical to the
+	// materialized wire, but the first plaintext row exists long before the
+	// server's scan completes (Result.TimeToFirstRow).
+	StreamWire bool
+	cache      *decryptCache
+	packCache  *packing.PlainCache
 }
 
 // New creates a client. ctx must be built over the plaintext schema with
@@ -51,7 +59,7 @@ func New(keys *enc.KeyStore, srv *server.Server, ctx *planner.Context, cfg netsi
 	return &Client{
 		Keys: keys, Srv: srv, Ctx: ctx, Cfg: cfg,
 		cache:     newDecryptCache(512),
-		packCache: make(packing.PlainCache),
+		packCache: packing.NewPlainCache(),
 	}
 }
 
@@ -66,6 +74,13 @@ type Result struct {
 	ClientTime   time.Duration // measured decrypt + local execution
 	WireBytes    int64
 	Decrypts     int64 // individual decryption operations performed
+	// TimeToFirstRow is when the first decrypted row of the first remote
+	// result became available at the client: simulated server time to the
+	// first batch + simulated transfer of its frame + measured decode time.
+	// On the materialized wire the whole result precedes the first row, so
+	// it degenerates to server + transfer + first decode pass; the streamed
+	// wire's headline win is this number dropping from O(scan) to O(batch).
+	TimeToFirstRow time.Duration
 }
 
 // Total is the end-to-end simulated latency.
@@ -189,8 +204,13 @@ func (c *Client) runPlan(plan *planner.Plan, cat *storage.Catalog, res *Result) 
 }
 
 // runRemote sends one RemoteSQL to the server and decrypts its output into
-// a temp table.
+// a temp table — over the streamed wire (concurrent per-batch decryption
+// overlapping the server's scan) when StreamWire is set, else over the
+// materialized wire.
 func (c *Client) runRemote(part *planner.RemotePart, cat *storage.Catalog, res *Result) error {
+	if c.StreamWire {
+		return c.runRemoteStreamed(part, cat, res)
+	}
 	q := c.resolveHomGroups(part.Query)
 	resp, err := c.Srv.Execute(q, nil)
 	if err != nil {
@@ -206,10 +226,7 @@ func (c *Client) runRemote(part *planner.RemotePart, cat *storage.Catalog, res *
 	}
 
 	start := time.Now()
-	schema := storage.Schema{Name: part.Name}
-	for _, o := range part.Outputs {
-		schema.Cols = append(schema.Cols, storage.Column{Name: o.Name, Type: kindToColType(o.Kind)})
-	}
+	schema := remoteSchema(part)
 	tbl := storage.NewTable(schema)
 	for _, row := range resp.Result.Rows {
 		out := make([]value.Value, len(part.Outputs))
@@ -223,8 +240,22 @@ func (c *Client) runRemote(part *planner.RemotePart, cat *storage.Catalog, res *
 		tbl.MustInsert(out)
 	}
 	res.ClientTime += time.Since(start)
+	if res.TimeToFirstRow == 0 {
+		// Materialized wire: nothing is visible before everything arrived
+		// and the decode pass ran.
+		res.TimeToFirstRow = resp.ServerTime + c.Cfg.TransferTime(resp.WireBytes) + time.Since(start)
+	}
 	cat.Put(tbl)
 	return nil
+}
+
+// remoteSchema builds the temp-table schema for one remote part.
+func remoteSchema(part *planner.RemotePart) storage.Schema {
+	schema := storage.Schema{Name: part.Name}
+	for _, o := range part.Outputs {
+		schema.Cols = append(schema.Cols, storage.Column{Name: o.Name, Type: kindToColType(o.Kind)})
+	}
+	return schema
 }
 
 // decodeOutput converts one server value into its plaintext form.

@@ -1,0 +1,221 @@
+package client
+
+// Streamed-wire consumption: the client half of the end-to-end pipeline.
+// runRemoteStreamed connects the server's ExecuteStream to a pool of
+// decrypt workers through an in-process pipe carrying the framed batch
+// protocol of internal/wire: the server frames encrypted batches mid-scan,
+// a reader goroutine decodes frames as they arrive, Options.Parallelism
+// workers decrypt batches concurrently (the decryption cache and the pack
+// plaintext cache are sharded-mutex safe), and the main loop merges
+// decrypted batches strictly in batch order into the temp table — so rows,
+// row order, and encodings are byte-identical to the materialized wire.
+//
+// Error/abandon handling is symmetric: a server error poisons the pipe and
+// surfaces at the reader; a client-side decode error closes the pipe,
+// which aborts the server's scan mid-stream. Either way every goroutine is
+// joined before returning.
+//
+// Accounting: ServerTime is the server's time-to-last-batch, TransferTime
+// charges the framed bytes on the simulated link, and ClientTime sums the
+// workers' measured decode time (the CPU the client actually spent, the
+// quantity the paper's cost model tracks — wall-clock overlap is the point
+// of the pipeline). Decrypts may differ slightly from the materialized
+// wire: concurrent workers can race to decrypt the same repeated
+// ciphertext before one of them has cached it. The decrypted values are
+// identical either way.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/planner"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// parallelism resolves the client-side worker knob (< 1 = GOMAXPROCS).
+func (c *Client) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// decodedBatch is one batch after decryption, or the error that stopped it.
+type decodedBatch struct {
+	rows [][]value.Value
+	err  error
+}
+
+// decodeJob pairs an encrypted batch with the promise its decoded form is
+// delivered on.
+type decodeJob struct {
+	rows [][]value.Value
+	out  chan decodedBatch
+}
+
+// runRemoteStreamed executes one RemoteSQL over the streamed wire.
+func (c *Client) runRemoteStreamed(part *planner.RemotePart, cat *storage.Catalog, res *Result) error {
+	q := c.resolveHomGroups(part.Query)
+	pr, pw := io.Pipe()
+
+	// Producer: the untrusted server frames batches into the pipe as its
+	// scan proceeds.
+	var sstats *server.StreamStats
+	var srvErr error
+	srvDone := make(chan struct{})
+	go func() {
+		defer close(srvDone)
+		sstats, srvErr = c.Srv.ExecuteStream(q, nil, pw)
+		pw.CloseWithError(srvErr) // nil = clean EOF after the end frame
+	}()
+
+	fail := func(err error) error {
+		pr.CloseWithError(err)
+		<-srvDone
+		if srvErr != nil {
+			err = srvErr
+		}
+		return fmt.Errorf("client: remote %s: %w", part.Name, err)
+	}
+
+	br, err := wire.NewBatchReader(pr)
+	if err != nil {
+		return fail(err)
+	}
+	if len(br.Cols()) != len(part.Outputs) {
+		return fail(fmt.Errorf("stream has %d columns, plan expects %d",
+			len(br.Cols()), len(part.Outputs)))
+	}
+
+	// Decrypt workers: each decodes whole batches on a private scratch
+	// Result (the caches underneath are concurrency-safe) and fulfills the
+	// batch's promise; summed counters merge after the join.
+	workers := c.parallelism()
+	jobs := make(chan decodeJob, workers)
+	ordered := make(chan chan decodedBatch, 2*workers)
+	var decrypts, decodeNanos int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := &Result{}
+			for j := range jobs {
+				t0 := time.Now()
+				rows, err := c.decodeBatch(part, j.rows, scratch)
+				atomic.AddInt64(&decodeNanos, time.Since(t0).Nanoseconds())
+				j.out <- decodedBatch{rows: rows, err: err}
+			}
+			atomic.AddInt64(&decrypts, scratch.Decrypts)
+		}()
+	}
+
+	// Reader: pulls frames off the wire in arrival order, queueing each
+	// batch's promise so the merge below sees batch order regardless of
+	// which worker finishes first. firstBatchAt marks the wall moment the
+	// first encrypted batch left the wire — the client-side decode clock
+	// for TimeToFirstRow starts there, not at query start, so the (real,
+	// in-process) server execution isn't counted twice on top of its
+	// simulated charge.
+	var firstFrameBytes int64
+	var firstBatchAt time.Time
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(jobs)
+		defer close(ordered)
+		for {
+			rows, err := br.Next()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			if rows == nil {
+				readErr <- nil
+				return
+			}
+			if firstFrameBytes == 0 {
+				firstFrameBytes = br.BytesRead() // header + first batch frame
+				firstBatchAt = time.Now()
+			}
+			ch := make(chan decodedBatch, 1)
+			ordered <- ch
+			jobs <- decodeJob{rows: rows, out: ch}
+		}
+	}()
+
+	// Merge: insert decoded batches in batch order. On a decode error,
+	// poison the pipe (aborting the server scan) but keep draining so the
+	// reader and every worker exit before we return.
+	tbl := storage.NewTable(remoteSchema(part))
+	var decodeErr error
+	var firstRowWall time.Duration
+	inserted := 0
+	for ch := range ordered {
+		d := <-ch
+		if decodeErr != nil {
+			continue
+		}
+		if d.err != nil {
+			decodeErr = d.err
+			pr.CloseWithError(d.err)
+			continue
+		}
+		if inserted == 0 && len(d.rows) > 0 {
+			firstRowWall = time.Since(firstBatchAt)
+		}
+		for _, row := range d.rows {
+			tbl.MustInsert(row)
+		}
+		inserted += len(d.rows)
+	}
+	wg.Wait()
+	rerr := <-readErr
+	<-srvDone
+
+	if decodeErr != nil {
+		return fmt.Errorf("client: remote %s: %w", part.Name, decodeErr)
+	}
+	if srvErr != nil {
+		return fmt.Errorf("client: remote %s: %w", part.Name, srvErr)
+	}
+	if rerr != nil {
+		return fmt.Errorf("client: remote %s: %w", part.Name, rerr)
+	}
+
+	res.ServerTime += sstats.ServerTime
+	res.TransferTime += c.Cfg.TransferTime(sstats.WireBytes)
+	res.WireBytes += sstats.WireBytes
+	res.ClientTime += time.Duration(decodeNanos)
+	res.Decrypts += decrypts
+	if res.TimeToFirstRow == 0 {
+		res.TimeToFirstRow = sstats.TimeToFirstBatch +
+			c.Cfg.TransferTime(firstFrameBytes) + firstRowWall
+	}
+	cat.Put(tbl)
+	return nil
+}
+
+// decodeBatch converts one encrypted batch into plaintext rows, counting
+// decryptions on the worker's scratch Result.
+func (c *Client) decodeBatch(part *planner.RemotePart, rows [][]value.Value, scratch *Result) ([][]value.Value, error) {
+	out := make([][]value.Value, len(rows))
+	for i, row := range rows {
+		vals := make([]value.Value, len(part.Outputs))
+		for j := range part.Outputs {
+			v, err := c.decodeOutput(&part.Outputs[j], row[j], scratch)
+			if err != nil {
+				return nil, fmt.Errorf("output %s: %w", part.Outputs[j].Name, err)
+			}
+			vals[j] = v
+		}
+		out[i] = vals
+	}
+	return out, nil
+}

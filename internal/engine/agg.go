@@ -357,6 +357,71 @@ func (c *execCtx) mergeGroupParts(specs []aggSpec, parts []*groupSet) (*groupSet
 	return merged, nil
 }
 
+// specsHaveUDF reports whether any aggregate is a UDF — the only states
+// whose Result can be expensive enough (Paillier products and modular
+// exponentiations on the server) to be worth fanning across workers.
+func specsHaveUDF(specs []aggSpec) bool {
+	for _, sp := range specs {
+		if sp.udf != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveAggResults finalizes every group's aggregates — one
+// AggState.Result per (group, spec) — fanning contiguous group ranges
+// across the context's workers when UDF aggregates are present. The
+// AggState contract requires Result to tolerate concurrent invocation
+// across distinct states (the server's Paillier UDF accumulates its stats
+// atomically for exactly this). Errors surface in group order, matching
+// the sequential loop.
+func (c *execCtx) resolveAggResults(specs []aggSpec, groups *groupSet) ([]map[string]value.Value, error) {
+	n := len(groups.order)
+	out := make([]map[string]value.Value, n)
+	resolve := func(gi int) error {
+		grp := groups.m[groups.order[gi]]
+		vals := make(map[string]value.Value, len(specs))
+		for i, sp := range specs {
+			if sp.agg != nil {
+				vals[sp.key] = grp.builtins[i].result()
+				continue
+			}
+			v, err := grp.udfs[i].Result()
+			if err != nil {
+				return err
+			}
+			vals[sp.key] = v
+		}
+		out[gi] = vals
+		return nil
+	}
+	workers := c.par
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || !specsHaveUDF(specs) {
+		for gi := 0; gi < n; gi++ {
+			if err := resolve(gi); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	bounds := shardBounds(n, workers)
+	if err := parallelDo(workers, func(s int) error {
+		for gi := bounds[s][0]; gi < bounds[s][1]; gi++ {
+			if err := resolve(gi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // execGrouped handles the aggregation path: GROUP BY (possibly empty =
 // single group), aggregate computation, HAVING, projection, ORDER BY.
 func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation, error) {
@@ -387,22 +452,20 @@ func (c *execCtx) finishGrouped(q *ast.Query, specs []aggSpec, groups *groupSet,
 		groups.order = append(groups.order, "")
 	}
 
+	// Finalize all groups' aggregates first — in parallel across groups
+	// when UDF aggregates make it worthwhile (the per-group Paillier work
+	// the ROADMAP flags); HAVING/projection below stay sequential, where
+	// subqueries and outer references remain legal.
+	resolved, err := c.resolveAggResults(specs, groups)
+	if err != nil {
+		return nil, err
+	}
+
 	outCols := projectionCols(q)
 	outRows := make([]keyedRow, 0, len(groups.order))
-	for _, key := range groups.order {
+	for gi, key := range groups.order {
 		grp := groups.m[key]
-		aggVals := make(map[string]value.Value, len(specs))
-		for i, sp := range specs {
-			if sp.agg != nil {
-				aggVals[sp.key] = grp.builtins[i].result()
-				continue
-			}
-			v, err := grp.udfs[i].Result()
-			if err != nil {
-				return nil, err
-			}
-			aggVals[sp.key] = v
-		}
+		aggVals := resolved[gi]
 		en := &env{rel: in, row: grp.firstRow, outer: outer, aggs: aggVals, aliases: aliases, ctx: c}
 		if grp.firstRow == nil {
 			en.rel = nil

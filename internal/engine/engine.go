@@ -124,6 +124,13 @@ type ScalarUDF func(st *Stats, args []value.Value) (value.Value, error)
 // is order-sensitive (e.g. concatenation) sees its inputs in the original
 // row order. After a state has been merged from, it is discarded; Merge
 // may therefore steal its buffers.
+//
+// Result finalizes the group. When UDF aggregates are present and the
+// engine runs parallel, finalization fans groups across workers, so Result
+// may be invoked concurrently with other states' Result calls (never
+// concurrently on one state). An implementation that writes to shared
+// state — typically the *Stats sink its factory captured — must make those
+// writes atomic.
 type AggState interface {
 	Add(args []value.Value) error
 	Merge(other AggState) error

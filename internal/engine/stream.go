@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"repro/internal/ast"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -257,6 +259,14 @@ func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, error
 		return &relation{cols: projectionCols(q), rows: rows}, true, nil
 	}
 
+	// ORDER BY ... LIMIT k without DISTINCT: streamed top-N. A bounded
+	// heap over the scan→filter stream keeps only the best k rows, so the
+	// full sort input is never materialized.
+	if len(q.OrderBy) > 0 && q.Limit >= 0 && !q.Distinct {
+		out, err := c.streamTopN(q, t, layout, outer)
+		return out, true, err
+	}
+
 	// Mid-query fallback: ORDER BY / DISTINCT need a materialized operator.
 	// The scan→filter front of the pipeline still streams; only its
 	// survivors are materialized and handed to the materialized projector.
@@ -333,6 +343,177 @@ func (c *execCtx) execGroupedStream(q *ast.Query, t *storage.Table, layout *rela
 		}
 	}
 	return c.finishGrouped(q, specs, groups, layout, outer)
+}
+
+// Streamed top-N: ORDER BY ... LIMIT k over a streamed scan keeps only
+// the k best rows in a bounded heap instead of materializing and sorting
+// the whole filtered input. Rows are ranked by the ORDER BY keys with the
+// global scan position as the final tiebreaker, which reproduces exactly
+// the stable sort + truncate of the materialized path: equal-key rows keep
+// their input order. Sharded execution collects a per-shard top-k (global
+// positions stay comparable across contiguous shards) and merges the
+// candidates with one final k-truncated sort, so results are byte-identical
+// at every shard count. Only the k winners are projected.
+
+// topNRow is one candidate: its ORDER BY key values, the input row (still
+// unprojected), and its global scan position.
+type topNRow struct {
+	keys []value.Value
+	row  []value.Value
+	seq  int
+}
+
+// topNLess is the total order of the streamed top-N: ORDER BY keys first
+// (Desc flips), global scan position as tiebreaker.
+func topNLess(order []ast.OrderItem, a, b *topNRow) bool {
+	for i, o := range order {
+		cmp := value.Compare(a.keys[i], b.keys[i])
+		if cmp == 0 {
+			continue
+		}
+		if o.Desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	return a.seq < b.seq
+}
+
+// topNHeap is a bounded max-heap of the k best rows seen so far; the root
+// is the worst kept row, so admission is one comparison against it.
+type topNHeap struct {
+	order []ast.OrderItem
+	k     int
+	rows  []topNRow
+}
+
+// admit offers one candidate. A full heap replaces its root only when the
+// candidate ranks strictly before it.
+func (h *topNHeap) admit(cand topNRow) {
+	if h.k <= 0 {
+		return
+	}
+	if len(h.rows) < h.k {
+		h.rows = append(h.rows, cand)
+		h.siftUp(len(h.rows) - 1)
+		return
+	}
+	if topNLess(h.order, &cand, &h.rows[0]) {
+		h.rows[0] = cand
+		h.siftDown(0)
+	}
+}
+
+func (h *topNHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !topNLess(h.order, &h.rows[p], &h.rows[i]) {
+			return
+		}
+		h.rows[p], h.rows[i] = h.rows[i], h.rows[p]
+		i = p
+	}
+}
+
+func (h *topNHeap) siftDown(i int) {
+	n := len(h.rows)
+	for {
+		worst := i
+		for _, ch := range []int{2*i + 1, 2*i + 2} {
+			if ch < n && topNLess(h.order, &h.rows[worst], &h.rows[ch]) {
+				worst = ch
+			}
+		}
+		if worst == i {
+			return
+		}
+		h.rows[i], h.rows[worst] = h.rows[worst], h.rows[i]
+		i = worst
+	}
+}
+
+// streamTopN runs the bounded-heap ORDER BY ... LIMIT pipeline. The scan
+// streams (charging stats per batch) and filtering happens inline so each
+// surviving row keeps its global position for the stability tiebreak.
+func (c *execCtx) streamTopN(q *ast.Query, t *storage.Table, layout *relation, outer *env) (*relation, error) {
+	k := q.Limit
+	n := len(t.Rows)
+	aliases := aliasMap(q)
+	collect := func(sc *execCtx, lo, hi int) ([]topNRow, error) {
+		h := &topNHeap{order: q.OrderBy, k: k}
+		it := newScanIterator(sc.stats, t, lo, hi, sc.batch)
+		pos := lo
+		for {
+			b, err := it.next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				return h.rows, nil
+			}
+			for _, row := range b {
+				seq := pos
+				pos++
+				if q.Where != nil {
+					// Filter env carries no aliases, matching filterIterator
+					// (WHERE cannot reference SELECT aliases).
+					fen := &env{rel: layout, row: row, outer: outer, ctx: sc}
+					ok, err := evalBool(fen, q.Where)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				if k == 0 {
+					continue // LIMIT 0 still scans (stats match), keeps nothing
+				}
+				en := &env{rel: layout, row: row, outer: outer, aliases: aliases, ctx: sc}
+				keys := make([]value.Value, len(q.OrderBy))
+				for i, o := range q.OrderBy {
+					v, err := eval(en, o.Expr)
+					if err != nil {
+						return nil, err
+					}
+					keys[i] = v
+				}
+				h.admit(topNRow{keys: keys, row: row, seq: seq})
+			}
+		}
+	}
+
+	shards := c.shardCount(n)
+	var cands []topNRow
+	if shards <= 1 {
+		var err error
+		cands, err = collect(c, 0, n)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		parts, err := shardedCollect(c, shards, n, collect)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			cands = append(cands, p...)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return topNLess(q.OrderBy, &cands[i], &cands[j]) })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	rows := make([][]value.Value, len(cands))
+	for i := range cands {
+		en := &env{rel: layout, row: cands[i].row, outer: outer, aliases: aliases, ctx: c}
+		vals, err := projectRow(en, q)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = vals
+	}
+	return &relation{cols: projectionCols(q), rows: rows}, nil
 }
 
 // accumulateStream pulls the scan→filter pipeline over [lo,hi) and folds

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Public streaming execution API. ExecuteStream is the pull counterpart of
+// Execute: the same query semantics (projection, grouping, DISTINCT, ORDER
+// BY, LIMIT — byte-identical rows), delivered as an incremental sequence of
+// row batches instead of one materialized Result. It is the engine-side
+// half of the streamed wire protocol: the server pulls batches from a
+// ResultStream and frames each one onto the wire as it is produced, so for
+// pipeline-eligible queries the first batch crosses the trust boundary
+// while the scan is still running.
+//
+// Two delivery modes, chosen per query:
+//
+//   - Pipelined: a single-table, subquery-free, non-grouped query with no
+//     ORDER BY or DISTINCT (the common RemoteSQL projection shape) runs the
+//     scan → filter → project iterator chain of stream.go directly, one
+//     batch per Next call, with LIMIT counting the stream down and closing
+//     the scan early. Nothing is materialized; time-to-first-batch is
+//     O(batch), not O(scan). The chain is pulled sequentially — a stream
+//     has one consumer — so rows match the materialized path exactly.
+//   - Fallback: every other shape (grouped aggregation, ORDER BY, DISTINCT,
+//     joins, subqueries) executes through Execute — including its sharded
+//     and batch-streamed internal paths — and the finished rows are emitted
+//     in batch-size chunks. The first batch only becomes available once the
+//     result exists, but the consumer still gets incremental delivery, and
+//     emitted batches are released as they are consumed, so a large result
+//     is dropped chunk-by-chunk as it ships instead of being retained
+//     whole until the last byte is framed.
+//
+// A ResultStream is single-goroutine (one puller) and holds no goroutines
+// itself: Close never leaks a worker, no matter how early the consumer
+// abandons the stream.
+
+// ResultStream is a pull-based streaming query result. The consumer calls
+// Next until it returns nil (stream exhausted) and must call Close if it
+// abandons the stream early.
+type ResultStream struct {
+	cols  []string
+	ctx   *execCtx
+	next  func() ([][]value.Value, error)
+	close func()
+	done  bool
+}
+
+// ExecuteStream starts q and returns its result as a batch stream. The
+// column names are available immediately; batches arrive via Next. The
+// batch size is Engine.BatchSize (DefaultBatchSize if unset), and the
+// pipelined mode additionally requires BatchSize > 0 — with BatchSize 0
+// every query takes the materialized fallback, chunked for delivery.
+func (e *Engine) ExecuteStream(q *ast.Query, params map[string]value.Value) (*ResultStream, error) {
+	ctx := &execCtx{
+		eng: e, params: params, stats: &Stats{},
+		subq:  make(map[*ast.Query]*subqPlan),
+		par:   e.effectiveParallelism(),
+		batch: e.BatchSize,
+	}
+	if s, ok := ctx.pipelinedStream(q); ok {
+		return s, nil
+	}
+	// Fallback: run to completion through the full executor (sharded and
+	// internally streamed as configured), then chunk the finished rows.
+	res, err := e.Execute(q, params)
+	if err != nil {
+		return nil, err
+	}
+	*ctx.stats = res.Stats
+	// RowsOut accumulates as batches are emitted (Next), mirroring the
+	// pipelined path; reset the materialized total to avoid double count.
+	ctx.stats.RowsOut = 0
+	size := e.BatchSize
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	rows := res.Rows
+	pos := 0
+	return &ResultStream{
+		cols: res.Cols,
+		ctx:  ctx,
+		next: func() ([][]value.Value, error) {
+			if pos >= len(rows) {
+				return nil, nil
+			}
+			end := pos + size
+			if end > len(rows) {
+				end = len(rows)
+			}
+			// Copy the row pointers out, then release the originals: once
+			// the consumer has shipped a chunk, the stream must not pin it
+			// (or the ciphertext blobs it references) until the end.
+			b := make([][]value.Value, end-pos)
+			copy(b, rows[pos:end])
+			for i := pos; i < end; i++ {
+				rows[i] = nil
+			}
+			pos = end
+			return b, nil
+		},
+		close: func() {},
+	}, nil
+}
+
+// pipelinedStream builds the incremental scan → filter → project stream
+// for q if it is pipeline-eligible; ok=false means the caller must take
+// the materialized fallback.
+func (c *execCtx) pipelinedStream(q *ast.Query) (*ResultStream, bool) {
+	if c.batch <= 0 || len(q.From) != 1 || q.From[0].Sub != nil || streamBlocked(q) {
+		return nil, false
+	}
+	if c.isGrouped(q) || len(q.OrderBy) > 0 || q.Distinct {
+		return nil, false
+	}
+	t, err := c.eng.Cat.Table(q.From[0].Name)
+	if err != nil {
+		// Let the fallback path report the unknown table consistently.
+		return nil, false
+	}
+	cols := make([]colInfo, len(t.Schema.Cols))
+	for i, col := range t.Schema.Cols {
+		cols[i] = colInfo{table: q.From[0].RefName(), name: col.Name}
+	}
+	layout := &relation{cols: cols}
+	it := c.streamPipeline(q, t, layout, aliasMap(q), nil, 0, len(t.Rows), true)
+	remaining := q.Limit // < 0 = unlimited
+	var names []string
+	for _, ci := range projectionCols(q) {
+		names = append(names, ci.name)
+	}
+	s := &ResultStream{cols: names, ctx: c, close: it.close}
+	s.next = func() ([][]value.Value, error) {
+		if remaining == 0 {
+			it.close()
+			return nil, nil
+		}
+		b, err := it.next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if remaining > 0 {
+			if len(b) >= remaining {
+				b = b[:remaining]
+				remaining = 0
+				it.close()
+			} else {
+				remaining -= len(b)
+			}
+		}
+		return b, nil
+	}
+	return s, true
+}
+
+// Cols returns the result's column names (available before any batch).
+func (s *ResultStream) Cols() []string { return s.cols }
+
+// Next returns the next non-empty batch of rows, or nil when the stream is
+// exhausted. Rows are delivered in exactly the order Execute would have
+// returned them.
+func (s *ResultStream) Next() ([][]value.Value, error) {
+	if s.done {
+		return nil, nil
+	}
+	b, err := s.next()
+	if err != nil {
+		s.done = true
+		s.close()
+		return nil, err
+	}
+	if b == nil {
+		s.done = true
+		return nil, nil
+	}
+	s.ctx.stats.RowsOut += int64(len(b))
+	return b, nil
+}
+
+// Close releases the stream early (for example when the consumer has
+// shipped enough rows). It is idempotent and safe after exhaustion.
+func (s *ResultStream) Close() {
+	if !s.done {
+		s.done = true
+		s.close()
+	}
+}
+
+// Stats returns a snapshot of the execution statistics accumulated so far:
+// scan charges grow batch by batch on the pipelined path, so a consumer
+// can convert partial progress into simulated time mid-stream. After the
+// stream is exhausted the snapshot equals the Stats a materialized Execute
+// of the same query would report (modulo RowsOut counting only emitted
+// rows).
+func (s *ResultStream) Stats() Stats { return *s.ctx.stats }

@@ -56,6 +56,10 @@ type Config struct {
 	// BatchSize streams eligible scans batch-at-a-time on the same three
 	// engines when > 0; 0 keeps materialized execution.
 	BatchSize int
+	// StreamWire ships encrypted results to the client as framed batches
+	// mid-scan, decrypted by Parallelism workers (results identical to the
+	// materialized wire; time-to-first-row drops to O(batch)).
+	StreamWire bool
 }
 
 // MonomiConfig is the full system at the given scale.
@@ -162,6 +166,7 @@ func Setup(cfg Config) (*Bench, error) {
 	}
 	b.SetParallelism(cfg.Parallelism)
 	b.SetBatchSize(cfg.BatchSize)
+	b.SetStreamWire(cfg.StreamWire)
 	return b, nil
 }
 
@@ -182,6 +187,13 @@ func (b *Bench) SetBatchSize(bs int) {
 	b.Client.Srv.SetBatchSize(bs)
 	b.Client.BatchSize = bs
 	b.Engine.BatchSize = bs
+}
+
+// SetStreamWire toggles the streamed wire protocol on the encrypted
+// client/server pair (see Config.StreamWire). Not safe while queries are
+// in flight.
+func (b *Bench) SetStreamWire(on bool) {
+	b.Client.StreamWire = on
 }
 
 // PlainResult is a plaintext-baseline execution with simulated timings.

@@ -216,18 +216,75 @@ func DecodeSumResult(wire []byte, cipherBytes int) (*SumResult, error) {
 	return res, nil
 }
 
+// plainCacheShards is the lock-striping factor of PlainCache: enough that
+// a client fanning batch decryption across a few workers rarely contends,
+// small enough that an idle cache stays negligible.
+const plainCacheShards = 8
+
 // PlainCache memoizes Paillier decryptions of partial packs. The same pack
 // ciphertext reaches the client once per group that touches it (e.g. Q1's
 // four groups interleave within packs); one decryption recovers every slot,
-// so caching by ciphertext collapses the repeats.
-type PlainCache map[string]*big.Int
+// so caching by ciphertext collapses the repeats. Safe for concurrent use:
+// entries stripe across mutex-guarded shards, so the streamed wire's
+// parallel batch decoders share one cache without serializing on it.
+type PlainCache struct {
+	shards [plainCacheShards]plainShard
+}
+
+type plainShard struct {
+	mu sync.Mutex
+	m  map[string]*big.Int
+}
+
+// NewPlainCache creates an empty cache.
+func NewPlainCache() *PlainCache { return &PlainCache{} }
+
+// shard picks the stripe for a key (FNV-1a over the ciphertext bytes).
+func (c *PlainCache) shard(key string) *plainShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%plainCacheShards]
+}
+
+// Get returns the memoized plaintext for key, or nil.
+func (c *PlainCache) Get(key string) *big.Int {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[key]
+}
+
+// Put memoizes one decryption.
+func (c *PlainCache) Put(key string, m *big.Int) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*big.Int)
+	}
+	s.m[key] = m
+}
+
+// Len reports the number of memoized packs (for tests).
+func (c *PlainCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
 
 // ClientSums finishes the aggregation on the trusted client: decrypt the
 // product and each partial pack, then add up the relevant slots. Returns
 // one sum per layout column and the number of Paillier decryptions
 // performed (the dominant client CPU cost the planner models, §6.4).
 // cache may be nil.
-func ClientSums(key *paillier.Key, layout Layout, res *SumResult, cache PlainCache) ([]int64, int, error) {
+func ClientSums(key *paillier.Key, layout Layout, res *SumResult, cache *PlainCache) ([]int64, int, error) {
 	sums := make([]int64, len(layout.Cols))
 	decrypts := 0
 	if res.Product != nil {
@@ -245,7 +302,7 @@ func ClientSums(key *paillier.Key, layout Layout, res *SumResult, cache PlainCac
 		ck := ""
 		if cache != nil {
 			ck = string(key.CiphertextBytes(p.Cipher))
-			m = cache[ck]
+			m = cache.Get(ck)
 		}
 		if m == nil {
 			var err error
@@ -255,7 +312,7 @@ func ClientSums(key *paillier.Key, layout Layout, res *SumResult, cache PlainCac
 			}
 			decrypts++
 			if cache != nil {
-				cache[ck] = m
+				cache.Put(ck, m)
 			}
 		}
 		rows := layout.Unpack(m)

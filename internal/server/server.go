@@ -17,6 +17,7 @@ package server
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
@@ -30,9 +31,21 @@ import (
 )
 
 // packingHomSum batches a group's Paillier ciphertext multiplications,
-// sharding the modular products across the server's workers.
+// sharding the modular products across the server's workers. The grouped
+// finalization loop may run several groups' Result calls concurrently
+// (engine fan-out), so the per-group worker budget divides by the number
+// of in-flight sums — total concurrency stays ~Parallelism instead of
+// oversubscribing to Parallelism² goroutines of bignum arithmetic. The
+// sum's wire encoding is worker-count-independent, so this never affects
+// results.
 func (s *Server) packingHomSum(store *packing.Store, rowIDs []int) (*packing.SumResult, error) {
-	return packing.HomSumParallel(store, rowIDs, s.parallelism())
+	inflight := atomic.AddInt64(&s.homInFlight, 1)
+	defer atomic.AddInt64(&s.homInFlight, -1)
+	p := s.parallelism() / int(inflight)
+	if p < 1 {
+		p = 1
+	}
+	return packing.HomSumParallel(store, rowIDs, p)
 }
 
 // Server hosts one encrypted database.
@@ -51,6 +64,10 @@ type Server struct {
 	Cfg         netsim.Config
 	Parallelism int
 	BatchSize   int
+
+	// homInFlight counts concurrently running grouped homomorphic sums
+	// (see packingHomSum).
+	homInFlight int64
 }
 
 // New creates a server over an encrypted database.
@@ -179,8 +196,11 @@ func (p *paillierSumState) Result() (value.Value, error) {
 	if err != nil {
 		return value.Value{}, err
 	}
-	p.stats.UDFNanos += time.Since(start).Nanoseconds()
-	p.stats.ExtraBytes += res.ReadSize
+	// Atomic: grouped finalization fans Result calls across workers, and
+	// every group's state shares the one execution-context Stats sink (see
+	// the engine.AggState contract).
+	atomic.AddInt64(&p.stats.UDFNanos, time.Since(start).Nanoseconds())
+	atomic.AddInt64(&p.stats.ExtraBytes, res.ReadSize)
 	return value.NewBytes(res.Encode(store.CipherBytes())), nil
 }
 
@@ -197,8 +217,9 @@ func (g *groupConcatState) Add(args []value.Value) error {
 	if len(args) != 1 {
 		return fmt.Errorf("server: GROUP_CONCAT expects 1 argument")
 	}
-	g.buf = wire.AppendValue(g.buf, args[0])
-	return nil
+	var err error
+	g.buf, err = wire.AppendValue(g.buf, args[0])
+	return err
 }
 
 // Merge appends a shard partial's frames. Shards merge in row order, so the

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/enc"
+	"repro/internal/netsim"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// bigFixture encrypts a scan-heavy table (DET columns only, so setup stays
+// fast) for streaming-latency tests.
+func bigFixture(t testing.TB, rows int) *Server {
+	t.Helper()
+	cat := storage.NewCatalog()
+	tbl, err := cat.Create(storage.Schema{
+		Name: "big",
+		Cols: []storage.Column{
+			{Name: "a", Type: storage.TInt},
+			{Name: "b", Type: storage.TInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		tbl.MustInsert([]value.Value{value.NewInt(int64(i)), value.NewInt(int64(i % 97))})
+	}
+	ks, err := enc.NewKeyStore([]byte("stream-test"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design := &enc.Design{}
+	design.Add(enc.ColumnItem("big", "a", enc.DET, value.Int))
+	design.Add(enc.ColumnItem("big", "b", enc.DET, value.Int))
+	db, err := enc.EncryptDatabase(cat, design, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db, netsim.Default())
+}
+
+// drainWire decodes a full batch stream from buf.
+func drainWire(t testing.TB, r io.Reader) ([]string, [][]value.Value) {
+	t.Helper()
+	br, err := wire.NewBatchReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]value.Value
+	for {
+		b, err := br.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			return br.Cols(), rows
+		}
+		rows = append(rows, b...)
+	}
+}
+
+// TestExecuteStreamMatchesExecute: the streamed wire must carry exactly
+// the rows the materialized Execute returns — same columns, same order,
+// same encodings — across plain scans, crypto-UDF aggregation, and empty
+// results, and its drained ServerTime must equal Execute's.
+func TestExecuteStreamMatchesExecute(t *testing.T) {
+	srv, _ := fixture(t)
+	srv.SetBatchSize(2)
+	group := srv.DB.Meta["t"].Groups[0]
+	queries := []string{
+		`SELECT k_det, row_id FROM t`,
+		`SELECT k_det, group_concat(k_det) FROM t GROUP BY k_det`,
+		`SELECT k_det, paillier_sum('` + group.Name + `', row_id) FROM t GROUP BY k_det`,
+		`SELECT k_det FROM t WHERE k_det = 123456789`, // empty result
+	}
+	for _, sql := range queries {
+		q := sqlparser.MustParse(sql)
+		want, err := srv.Execute(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		var buf bytes.Buffer
+		st, err := srv.ExecuteStream(q, nil, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		wireLen := int64(buf.Len())
+		cols, rows := drainWire(t, &buf)
+		if len(cols) != len(want.Result.Cols) {
+			t.Fatalf("%s: stream has %d cols, want %d", sql, len(cols), len(want.Result.Cols))
+		}
+		if len(rows) != len(want.Result.Rows) {
+			t.Fatalf("%s: stream has %d rows, want %d", sql, len(rows), len(want.Result.Rows))
+		}
+		for i, wrow := range want.Result.Rows {
+			for j, wv := range wrow {
+				gv := rows[i][j]
+				if wv.IsNull() != gv.IsNull() || (!wv.IsNull() && value.Compare(wv, gv) != 0) {
+					t.Fatalf("%s: row %d col %d: %v != %v", sql, i, j, gv, wv)
+				}
+			}
+		}
+		if st.WireBytes != wireLen {
+			t.Errorf("%s: StreamStats.WireBytes = %d, stream is %d", sql, st.WireBytes, wireLen)
+		}
+		if st.Rows != int64(len(rows)) {
+			t.Errorf("%s: StreamStats.Rows = %d, shipped %d", sql, st.Rows, len(rows))
+		}
+		// UDF nanos are measured wall time, not simulated, so the two
+		// executions of a crypto-aggregate query legitimately differ;
+		// scan-only charges must match exactly.
+		if !strings.Contains(sql, "paillier_sum") && !strings.Contains(sql, "group_concat") &&
+			st.ServerTime != want.ServerTime {
+			t.Errorf("%s: streamed ServerTime %v != materialized %v", sql, st.ServerTime, want.ServerTime)
+		}
+	}
+}
+
+// TestTimeToFirstBatchBeatsServerTime is the pipelining acceptance test:
+// with streaming enabled and netsim charging per batch, the first
+// encrypted batch leaves the server long before the simulated scan
+// completes — TimeToFirstBatch < ServerTime, by roughly the batch/table
+// ratio.
+func TestTimeToFirstBatchBeatsServerTime(t *testing.T) {
+	const rows = 4000
+	srv := bigFixture(t, rows)
+	srv.SetBatchSize(64)
+	q := sqlparser.MustParse(`SELECT a_det, b_det FROM big`)
+	var buf bytes.Buffer
+	st, err := srv.ExecuteStream(q, nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches < rows/64 {
+		t.Fatalf("stream produced %d batches over %d rows at batch 64", st.Batches, rows)
+	}
+	if st.TimeToFirstBatch <= 0 || st.ServerTime <= 0 {
+		t.Fatalf("timings not charged: ttfb=%v server=%v", st.TimeToFirstBatch, st.ServerTime)
+	}
+	if st.TimeToFirstBatch >= st.ServerTime {
+		t.Fatalf("TimeToFirstBatch %v >= ServerTime %v: no pipelining", st.TimeToFirstBatch, st.ServerTime)
+	}
+	if st.TimeToFirstBatch > st.ServerTime/8 {
+		t.Errorf("TimeToFirstBatch %v is not batch-proportional (ServerTime %v)",
+			st.TimeToFirstBatch, st.ServerTime)
+	}
+	// Drained, the streamed ServerTime equals the materialized charge.
+	want, err := srv.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ServerTime != want.ServerTime {
+		t.Errorf("streamed ServerTime %v != materialized %v", st.ServerTime, want.ServerTime)
+	}
+}
+
+// TestExecuteStreamAbandoned: a client that stops reading mid-stream (its
+// LIMIT satisfied) closes the pipe; the server's scan must abort promptly,
+// charge only the work done, and leave no goroutine behind.
+func TestExecuteStreamAbandoned(t *testing.T) {
+	const rows = 8000
+	srv := bigFixture(t, rows)
+	srv.SetBatchSize(16)
+	q := sqlparser.MustParse(`SELECT a_det FROM big`)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		pr, pw := io.Pipe()
+		done := make(chan *StreamStats, 1)
+		errc := make(chan error, 1)
+		go func() {
+			st, err := srv.ExecuteStream(q, nil, pw)
+			errc <- err
+			done <- st
+			pw.CloseWithError(err)
+		}()
+		br, err := wire.NewBatchReader(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := br.Next(); err != nil {
+			t.Fatal(err)
+		}
+		// Abandon: one batch was enough.
+		pr.CloseWithError(fmt.Errorf("client satisfied"))
+		if err := <-errc; err == nil {
+			t.Fatal("abandoned stream returned no error")
+		}
+		st := <-done
+		if st.Rows >= rows {
+			t.Fatalf("abandoned stream still shipped all %d rows", st.Rows)
+		}
+		if st.ServerTime <= 0 {
+			t.Error("abandoned stream charged no server time")
+		}
+	}
+	var after int
+	for i := 0; i < 20; i++ {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after > before+2 {
+		t.Fatalf("goroutines grew from %d to %d: abandoned streams leak", before, after)
+	}
+}

@@ -4,6 +4,12 @@
 // — ships every ciphertext of a group to the client in one framed blob,
 // and the client decodes it back into values to decrypt and aggregate
 // locally.
+//
+// On top of the per-value frames, batch.go defines the streamed result
+// protocol: a ResultHeader naming the columns followed by incremental row
+// batches (BatchWriter/BatchReader over io.Writer/io.Reader), so the
+// server can ship encrypted intermediate results mid-scan and the client
+// can begin decrypting before the server's scan finishes.
 package wire
 
 import (
@@ -24,32 +30,35 @@ const (
 	tagFloat = 5
 )
 
-// AppendValue appends the framed encoding of v to dst.
-func AppendValue(dst []byte, v value.Value) []byte {
+// AppendValue appends the framed encoding of v to dst. A kind outside the
+// wire vocabulary is a framing bug in the caller, not data: it returns an
+// error naming the kind so the corruption surfaces at the encoder instead
+// of silently shipping a NULL.
+func AppendValue(dst []byte, v value.Value) ([]byte, error) {
 	switch v.K {
 	case value.Null:
-		return append(dst, tagNull)
+		return append(dst, tagNull), nil
 	case value.Int, value.Bool:
 		dst = append(dst, tagInt)
-		return binary.BigEndian.AppendUint64(dst, uint64(v.I))
+		return binary.BigEndian.AppendUint64(dst, uint64(v.I)), nil
 	case value.Date:
 		dst = append(dst, tagDate)
-		return binary.BigEndian.AppendUint64(dst, uint64(v.I))
+		return binary.BigEndian.AppendUint64(dst, uint64(v.I)), nil
 	case value.Float:
 		dst = append(dst, tagFloat)
 		// floats only appear in already-plaintext aggregates; round-trip
 		// through the integer bits representation.
-		return binary.BigEndian.AppendUint64(dst, floatBits(v.F))
+		return binary.BigEndian.AppendUint64(dst, floatBits(v.F)), nil
 	case value.Str:
 		dst = append(dst, tagStr)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.S)))
-		return append(dst, v.S...)
+		return append(dst, v.S...), nil
 	case value.Bytes:
 		dst = append(dst, tagBytes)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.B)))
-		return append(dst, v.B...)
+		return append(dst, v.B...), nil
 	}
-	return append(dst, tagNull)
+	return dst, fmt.Errorf("wire: cannot frame value of kind %v", v.K)
 }
 
 // DecodeValue decodes one framed value from b, returning it and the number

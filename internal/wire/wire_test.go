@@ -19,8 +19,11 @@ func TestRoundTripAllKinds(t *testing.T) {
 		value.NewDate(9131),
 	}
 	var buf []byte
+	var err error
 	for _, v := range vals {
-		buf = AppendValue(buf, v)
+		if buf, err = AppendValue(buf, v); err != nil {
+			t.Fatal(err)
+		}
 	}
 	got, err := DecodeAll(buf)
 	if err != nil {
@@ -57,16 +60,26 @@ func TestDecodeErrors(t *testing.T) {
 func TestBytesRoundTripProperty(t *testing.T) {
 	f := func(b []byte, s string, i int64) bool {
 		var buf []byte
-		buf = AppendValue(buf, value.NewBytes(b))
-		buf = AppendValue(buf, value.NewStr(s))
-		buf = AppendValue(buf, value.NewInt(i))
+		buf, err1 := AppendValue(buf, value.NewBytes(b))
+		buf, err2 := AppendValue(buf, value.NewStr(s))
+		buf, err3 := AppendValue(buf, value.NewInt(i))
 		got, err := DecodeAll(buf)
-		if err != nil || len(got) != 3 {
+		if err1 != nil || err2 != nil || err3 != nil || err != nil || len(got) != 3 {
 			return false
 		}
 		return string(got[0].B) == string(b) && got[1].S == s && got[2].I == i
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAppendValueUnknownKind pins the fix for the silent tagNull
+// fallthrough: framing a value of an out-of-vocabulary kind must surface
+// an error, not ship a NULL.
+func TestAppendValueUnknownKind(t *testing.T) {
+	bogus := value.Value{K: value.Kind(250)}
+	if _, err := AppendValue(nil, bogus); err == nil {
+		t.Fatal("unknown kind framed silently")
 	}
 }

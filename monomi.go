@@ -56,11 +56,28 @@
 // worker streams its own row range and the per-shard partials merge
 // exactly as in materialized sharded execution. Joins, DISTINCT, ORDER BY
 // and subqueries fall back to the materialized operators (ORDER BY and
-// DISTINCT still stream the scan→filter front). Results are byte-identical
-// to materialized execution at every ⟨BatchSize, Parallelism⟩ combination,
-// with the same float SUM/AVG last-ULP caveat above — it comes from
-// sharding, not from batching. 0 (the default) keeps the materialized
-// executor; the knob can be changed later with System.SetBatchSize.
+// DISTINCT still stream the scan→filter front; ORDER BY with LIMIT runs a
+// streamed bounded-heap top-N). Results are byte-identical to materialized
+// execution at every ⟨BatchSize, Parallelism⟩ combination, with the same
+// float SUM/AVG last-ULP caveat above — it comes from sharding, not from
+// batching. 0 (the default) keeps the materialized executor; the knob can
+// be changed later with System.SetBatchSize.
+//
+// # Streamed wire protocol
+//
+// Options.StreamWire extends the pipeline across the trust boundary: the
+// untrusted server frames encrypted result batches onto the wire while its
+// scan is still running (internal/wire's header/batch/end framing), and
+// the trusted client decodes each arriving batch on a pool of Parallelism
+// decrypt workers, merging decrypted rows in batch order. The decryption
+// cache and the Paillier pack cache are sharded-mutex concurrent, so the
+// workers share them without serializing. Results are byte-identical to
+// the materialized wire; what changes is latency shape — the first
+// plaintext row is available after one batch instead of after the whole
+// scan (Rows.TimeToFirstRow) — and peak client memory, since encrypted
+// batches are dropped as soon as they are decrypted instead of the whole
+// intermediate result being held alongside the decoded table. Toggle later
+// with System.SetStreamWire.
 package monomi
 
 import (
@@ -213,6 +230,16 @@ type Options struct {
 	// row order, or encodings; the float SUM/AVG last-ULP caveat on
 	// Parallelism is the only exception and is independent of BatchSize.
 	BatchSize int
+	// StreamWire streams results across the trust boundary: the untrusted
+	// server frames encrypted batches onto the wire mid-scan and the
+	// trusted client decrypts each arriving batch on Parallelism workers,
+	// merging in batch order — so the first plaintext row exists after one
+	// batch instead of after the whole scan (Rows.TimeToFirstRow). Results
+	// are byte-identical to the materialized wire. Combine with BatchSize
+	// > 0: with 0, the wire still streams but the server can only frame
+	// batches once its materialized execution finishes. Off by default;
+	// toggle later with System.SetStreamWire.
+	StreamWire bool
 }
 
 // DefaultOptions returns the paper's configuration: 1,024-bit Paillier,
@@ -286,6 +313,7 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 	}
 	sys.SetParallelism(opts.Parallelism)
 	sys.SetBatchSize(opts.BatchSize)
+	sys.SetStreamWire(opts.StreamWire)
 	return sys, nil
 }
 
@@ -309,6 +337,13 @@ func (s *System) SetBatchSize(b int) {
 	s.plain.BatchSize = b
 }
 
+// SetStreamWire toggles the streamed wire protocol for remote execution
+// (see Options.StreamWire). It must not be called while queries are in
+// flight.
+func (s *System) SetStreamWire(on bool) {
+	s.client.StreamWire = on
+}
+
 // Rows is a plaintext query result.
 type Rows struct {
 	Cols []string
@@ -318,8 +353,13 @@ type Rows struct {
 	ServerTime   float64 // seconds
 	TransferTime float64
 	ClientTime   float64
-	WireBytes    int64
-	PlanText     string
+	// TimeToFirstRow is when the first decrypted row of the first remote
+	// result was available at the client, in seconds. On the streamed wire
+	// it is O(batch); on the materialized wire the whole result (server
+	// scan + transfer + decode) precedes it.
+	TimeToFirstRow float64
+	WireBytes      int64
+	PlanText       string
 }
 
 // Total returns the end-to-end simulated latency in seconds.
@@ -332,12 +372,13 @@ func (s *System) Query(sql string) (*Rows, error) {
 		return nil, err
 	}
 	out := &Rows{
-		Cols:         res.Cols,
-		ServerTime:   res.ServerTime.Seconds(),
-		TransferTime: res.TransferTime.Seconds(),
-		ClientTime:   res.ClientTime.Seconds(),
-		WireBytes:    res.WireBytes,
-		PlanText:     res.Plan.Describe(),
+		Cols:           res.Cols,
+		ServerTime:     res.ServerTime.Seconds(),
+		TransferTime:   res.TransferTime.Seconds(),
+		ClientTime:     res.ClientTime.Seconds(),
+		TimeToFirstRow: res.TimeToFirstRow.Seconds(),
+		WireBytes:      res.WireBytes,
+		PlanText:       res.Plan.Describe(),
 	}
 	for _, row := range res.Rows {
 		vals := make([]any, len(row))
