@@ -10,6 +10,7 @@
 //	monomi-bench -exp fig9            # Figure 9: space budgets
 //	monomi-bench -exp table2          # Table 2: server space
 //	monomi-bench -exp table3          # Table 3: security census
+//	monomi-bench -exp join            # streamed hash-join probe scenario
 //	monomi-bench -exp all
 package main
 
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|all")
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	bits := flag.Int("paillier", 512, "Paillier modulus bits (paper: 1024)")
@@ -32,6 +33,7 @@ func main() {
 	par := flag.Int("parallelism", 0, "sharded-execution workers (0 = GOMAXPROCS, 1 = sequential)")
 	batch := flag.Int("batchsize", 0, "streamed-execution batch size for suite experiments (0 = materialized)")
 	stream := flag.Bool("streamwire", false, "stream encrypted result batches to the client mid-scan (suite experiments)")
+	joinRows := flag.Int("joinrows", 50000, "probe-side rows for the join scenario (-exp join)")
 	flag.Parse()
 
 	scale := tpch.ScaleFactor(*sf)
@@ -94,6 +96,10 @@ func main() {
 			fmt.Println(summary)
 		case "stats":
 			fmt.Println(suite.Stats().String())
+		case "join":
+			if err := joinScenario(*joinRows, *par, *batch); err != nil {
+				log.Fatal(err)
+			}
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}

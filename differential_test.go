@@ -34,9 +34,12 @@ var diffBatchSizes = []int{0, 64}
 // Parallelism workers, merging in batch order).
 var diffStreamWire = []bool{false, true}
 
-// diffSystem builds sales(s_id, s_cat, s_qty, s_price, s_date) with seeded
-// random rows and encrypts it under a workload broad enough that the
-// designer materializes DET, OPE, and HOM columns.
+// diffSystem builds sales(s_id, s_cat, s_qty, s_price, s_date) — plus
+// cats(c_name, c_region, c_tier), a dimension table joining on s_cat =
+// c_name with duplicate and NULL join keys — with seeded random rows, and
+// encrypts them under a workload broad enough that the designer
+// materializes DET, OPE, and HOM columns and a shared-key DET join group
+// for the join columns.
 func diffSystem(t testing.TB) *System {
 	t.Helper()
 	rng := rand.New(rand.NewSource(diffSeed))
@@ -50,6 +53,21 @@ func diffSystem(t testing.TB) *System {
 		db.MustInsert("sales", i, cats[rng.Intn(len(cats))], int(rng.Int63n(50)),
 			int(rng.Int63n(1000)), date)
 	}
+	db.MustCreateTable("cats",
+		Col("c_name", String), Col("c_region", String), Col("c_tier", Int))
+	regions := []string{"north", "south", "east"}
+	tier := 0
+	for _, name := range cats {
+		// 1–2 rows per category: duplicate build-side keys multiply probe
+		// matches.
+		for k := 0; k <= tier%2; k++ {
+			db.MustInsert("cats", name, regions[tier%len(regions)], tier)
+			tier++
+		}
+	}
+	// NULL join keys must match nothing on either wire.
+	db.MustInsert("cats", nil, "nowhere", tier)
+	db.MustInsert("cats", nil, "nowhere", tier+1)
 	opts := DefaultOptions()
 	opts.PaillierBits = 256 // fast tests
 	opts.SpaceBudget = 0    // unconstrained: materialize what the workload wants
@@ -59,6 +77,7 @@ func diffSystem(t testing.TB) *System {
 		"date_range": "SELECT SUM(s_price) FROM sales WHERE s_date < date '1997-01-01'",
 		"cat_eq":     "SELECT COUNT(*) FROM sales WHERE s_cat = 'ale'",
 		"minmax":     "SELECT s_cat, MIN(s_price), MAX(s_price), AVG(s_qty) FROM sales GROUP BY s_cat",
+		"join_cat":   "SELECT s_id, c_region, c_tier FROM sales, cats WHERE s_cat = c_name AND c_tier < 4",
 	}, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +172,89 @@ func canonicalRows(t *testing.T, data [][]any, ordered bool) []string {
 func TestDifferentialRandomQueries(t *testing.T) {
 	sys := diffSystem(t)
 	queries := genQueries(rand.New(rand.NewSource(diffSeed+1)), diffQueries)
+	for _, par := range []int{1, 2, 4} {
+		sys.SetParallelism(par)
+		for _, bs := range diffBatchSizes {
+			sys.SetBatchSize(bs)
+			for _, sw := range diffStreamWire {
+				sys.SetStreamWire(sw)
+				for _, q := range queries {
+					plain, err := sys.QueryPlaintext(q.sql)
+					if err != nil {
+						t.Fatalf("p=%d bs=%d sw=%v plaintext %s: %v", par, bs, sw, q.sql, err)
+					}
+					enc, err := sys.Query(q.sql)
+					if err != nil {
+						t.Fatalf("p=%d bs=%d sw=%v encrypted %s: %v", par, bs, sw, q.sql, err)
+					}
+					want := canonicalRows(t, plain.Data, q.ordered)
+					got := canonicalRows(t, enc.Data, q.ordered)
+					if len(got) != len(want) {
+						t.Fatalf("p=%d bs=%d sw=%v %s: %d rows, plaintext %d", par, bs, sw, q.sql, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("p=%d bs=%d sw=%v %s\nrow %d: encrypted %q, plaintext %q", par, bs, sw, q.sql, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// genJoinQueries splices random sales filters into multi-table templates:
+// equi-join projection, join + GROUP BY, join + ORDER BY .. LIMIT, cross
+// join, and a NULL-sensitive join (the cats table carries NULL and
+// duplicate join keys, so every equi-join exercises both). ORDER BY keys
+// are chosen to impose a total order wherever row order is asserted.
+func genJoinQueries(rng *rand.Rand, n int) []diffQuery {
+	pred := func() string {
+		switch rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("s_qty < %d", 5+rng.Intn(45))
+		case 1:
+			return fmt.Sprintf("s_price >= %d", rng.Intn(900))
+		case 2:
+			return fmt.Sprintf("s_date < date '19%02d-06-15'", 96+rng.Intn(3))
+		default:
+			return fmt.Sprintf("c_tier < %d", 2+rng.Intn(6))
+		}
+	}
+	var out []diffQuery
+	for i := 0; i < n; i++ {
+		p := pred()
+		switch i % 5 {
+		case 0:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT s_id, c_region, c_tier FROM sales, cats WHERE s_cat = c_name AND %s ORDER BY s_id, c_tier", p), true})
+		case 1:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT c_region, SUM(s_price), COUNT(*) FROM sales, cats WHERE s_cat = c_name AND %s GROUP BY c_region ORDER BY c_region", p), true})
+		case 2:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT s_id, s_price, c_tier FROM sales, cats WHERE s_cat = c_name AND %s ORDER BY s_price DESC, s_id, c_tier LIMIT %d", p, 7+rng.Intn(30)), true})
+		case 3:
+			// Cross join: no equi-join edge connects the tables.
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT COUNT(*), SUM(c_tier) FROM sales, cats WHERE %s", p), false})
+		default:
+			out = append(out, diffQuery{fmt.Sprintf(
+				"SELECT s_cat, c_tier FROM sales, cats WHERE s_cat = c_name AND %s AND c_tier >= 0 ORDER BY s_cat, c_tier LIMIT 40", p), true})
+		}
+	}
+	return out
+}
+
+// TestDifferentialJoinQueries runs the multi-table grid: every generated
+// join query through the plaintext engine and the encrypted split path,
+// across Parallelism × BatchSize × StreamWire — exercising the sharded
+// partitioned hash-join build, the sharded probe and cross join, the
+// streamed-probe pipeline, and the streamed wire shipping joined encrypted
+// batches mid-probe.
+func TestDifferentialJoinQueries(t *testing.T) {
+	sys := diffSystem(t)
+	queries := genJoinQueries(rand.New(rand.NewSource(diffSeed+3)), 15)
 	for _, par := range []int{1, 2, 4} {
 		sys.SetParallelism(par)
 		for _, bs := range diffBatchSizes {

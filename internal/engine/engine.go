@@ -241,7 +241,7 @@ func (c *execCtx) execQuery(q *ast.Query, outer *env) (*relation, error) {
 	}
 
 	if q.Distinct {
-		out = distinct(out)
+		out = c.distinct(out)
 	}
 	if q.Limit >= 0 && len(out.rows) > q.Limit {
 		out.rows = out.rows[:q.Limit]
@@ -337,19 +337,70 @@ func (c *execCtx) hasAggLike(e ast.Expr) bool {
 	return found
 }
 
-// distinct removes duplicate rows, preserving first occurrence order.
-func distinct(r *relation) *relation {
-	seen := make(map[string]bool, len(r.rows))
-	out := r.rows[:0:0]
-	for _, row := range r.rows {
-		var b strings.Builder
-		for _, v := range row {
-			b.WriteString(v.HashKey())
-			b.WriteByte(0)
+// distinctKey renders one row's dedup key.
+func distinctKey(row []value.Value) string {
+	var b strings.Builder
+	for _, v := range row {
+		b.WriteString(v.HashKey())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// distinct removes duplicate rows, preserving first occurrence order. Large
+// inputs dedup in parallel with partitioned seen-sets: row-range workers
+// render every row's key, then one worker per key-hash partition marks the
+// first occurrence of each key it owns (a key lives entirely in one
+// partition, so no two workers touch the same keep slot), and the survivors
+// collect in row order — byte-identical to the sequential pass.
+func (c *execCtx) distinct(r *relation) *relation {
+	n := len(r.rows)
+	shards := c.shardCount(n)
+	if shards <= 1 {
+		seen := make(map[string]bool, n)
+		out := r.rows[:0:0]
+		for _, row := range r.rows {
+			k := distinctKey(row)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, row)
+			}
 		}
-		k := b.String()
-		if !seen[k] {
-			seen[k] = true
+		return &relation{cols: r.cols, rows: out}
+	}
+
+	keys := make([]string, n)
+	partIDs := make([]int32, n)
+	bounds := shardBounds(n, shards)
+	// Keys are pure renders of row values; no stats, no env — plain
+	// worker fan-out suffices (errors impossible). Each key is hashed to
+	// its partition once, here, so the partition pass below is an integer
+	// compare per row instead of a rehash per (row, worker).
+	_ = parallelDo(shards, func(s int) error {
+		for i := bounds[s][0]; i < bounds[s][1]; i++ {
+			keys[i] = distinctKey(r.rows[i])
+			partIDs[i] = int32(joinPartition(keys[i], shards))
+		}
+		return nil
+	})
+	keep := make([]bool, n)
+	_ = parallelDo(shards, func(p int) error {
+		seen := make(map[string]bool, n/shards+1)
+		for i, id := range partIDs {
+			if id != int32(p) {
+				continue
+			}
+			k := keys[i]
+			if !seen[k] {
+				seen[k] = true
+				keep[i] = true
+			}
+		}
+		return nil
+	})
+	out := r.rows[:0:0]
+	for i, row := range r.rows {
+		if keep[i] {
 			out = append(out, row)
 		}
 	}

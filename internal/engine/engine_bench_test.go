@@ -166,3 +166,95 @@ func BenchmarkStreamGroupedAggregate200k(b *testing.B) {
 func BenchmarkStreamLimit200k(b *testing.B) {
 	benchStreamLevels(b, `SELECT f_id, f_val FROM facts WHERE f_val > 500 LIMIT 100`, 200000)
 }
+
+// Join-layer benchmarks: the sharded partitioned hash-join build (200k-row
+// build side) and the streamed probe (200k-row probe side) against their
+// sequential / materialized baselines.
+
+// benchJoinEngine builds probe(p_id, p_key, p_val) × build(b_key, b_val)
+// with ~one build row per 100 probe keys matching.
+func benchJoinEngine(b *testing.B, probeRows, buildRows int) *Engine {
+	b.Helper()
+	cat := storage.NewCatalog()
+	pt, err := cat.Create(storage.Schema{
+		Name: "probe",
+		Cols: []storage.Column{
+			{Name: "p_id", Type: storage.TInt},
+			{Name: "p_key", Type: storage.TInt},
+			{Name: "p_val", Type: storage.TInt},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < probeRows; i++ {
+		pt.MustInsert([]value.Value{
+			value.NewInt(int64(i)), value.NewInt(int64(i % buildRows)), value.NewInt(int64(i % 1000)),
+		})
+	}
+	bt, err := cat.Create(storage.Schema{
+		Name: "build",
+		Cols: []storage.Column{
+			{Name: "b_key", Type: storage.TInt},
+			{Name: "b_val", Type: storage.TInt},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < buildRows; i++ {
+		bt.MustInsert([]value.Value{value.NewInt(int64(i)), value.NewInt(int64(i % 97))})
+	}
+	return New(cat)
+}
+
+// BenchmarkJoinBuild200k stresses the build phase: a 200k-row build side
+// hashed into partitioned maps (p>1) vs one sequential map (p=1); the
+// 2k-row probe side keeps the probe phase negligible.
+func BenchmarkJoinBuild200k(b *testing.B) {
+	e := benchJoinEngine(b, 2000, 200000)
+	q := sqlparser.MustParse(`SELECT COUNT(*) FROM probe, build WHERE p_key = b_key`)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			e.Parallelism = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Execute(q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamJoinProbe200k is the streamed-probe headline: a 200k-row
+// probe side over a 100-row build side, materialized (the full join output
+// exists) vs streamed (each probe batch flows through probe → project and
+// is released). Grouped variant folds the joined batches straight into
+// aggregation states.
+func BenchmarkStreamJoinProbe200k(b *testing.B) {
+	for _, sh := range []struct {
+		name string
+		sql  string
+	}{
+		{"projection", `SELECT p_id, b_val FROM probe, build WHERE p_key = b_key AND p_val > 250`},
+		{"grouped", `SELECT b_val, SUM(p_val), COUNT(*) FROM probe, build WHERE p_key = b_key GROUP BY b_val`},
+	} {
+		e := benchJoinEngine(b, 200000, 100)
+		q := sqlparser.MustParse(sh.sql)
+		for _, mode := range []struct {
+			name  string
+			batch int
+		}{{"materialized", 0}, {"streamed", DefaultBatchSize}} {
+			b.Run(fmt.Sprintf("%s/%s", sh.name, mode.name), func(b *testing.B) {
+				e.Parallelism, e.BatchSize = 1, mode.batch
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Execute(q, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,11 +1,177 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/value"
 )
+
+// Join planning and execution. planJoin classifies the WHERE conjuncts of a
+// comma-join FROM into per-table filters, hash-join edges, and residual
+// predicates, then fixes the greedy join order; the materialized executor
+// (joinAll) and the streamed-probe pipeline (stream.go) both execute the
+// same plan, so their outputs are byte-identical by construction.
+//
+// The hash-join build side is partitioned by key hash across workers into
+// per-partition maps — no global lock, and a key's row list is always in
+// build-side row order regardless of worker count — while the probe side
+// shards by contiguous row ranges like every other row loop (parallel.go).
+
+// joinStep is one step of the greedy join order: attach FROM index next to
+// the accumulated relation. Empty key lists mean a cross join; otherwise
+// leftKeys evaluate against the accumulated (probe) side and rightKeys
+// against rels[next] (the build side).
+type joinStep struct {
+	next      int
+	leftKeys  []ast.Expr
+	rightKeys []ast.Expr
+}
+
+// joinPlan is the classified FROM/WHERE of one query block.
+type joinPlan struct {
+	perTable [][]ast.Expr // single-table filters, by FROM index
+	steps    []joinStep   // greedy join order starting from FROM index 0
+	residual []ast.Expr   // predicates to apply after the join
+}
+
+// joinEdge is a usable equi-join predicate: an equality whose two sides
+// each reference exactly one (distinct) table.
+type joinEdge struct {
+	expr   *ast.BinaryExpr
+	lt, rt int // FROM index of each side
+}
+
+// planJoin classifies q's WHERE conjuncts and derives the join order. rels
+// supply only column layouts (for unqualified-column resolution); their
+// rows are never touched, so the streaming path can plan with layout-only
+// relations.
+func planJoin(q *ast.Query, refNames []string, rels []*relation) (*joinPlan, error) {
+	plan := &joinPlan{perTable: make([][]ast.Expr, len(rels))}
+	var edges []joinEdge
+	for _, e := range ast.Conjuncts(q.Where) {
+		if ast.HasSubquery(e) {
+			plan.residual = append(plan.residual, e)
+			continue
+		}
+		tables := map[int]bool{}
+		for _, col := range ast.Columns(e) {
+			idx, err := resolveTable(col, refNames, rels)
+			if err != nil {
+				return nil, err
+			}
+			if idx >= 0 {
+				tables[idx] = true
+			}
+		}
+		switch {
+		case len(tables) == 0:
+			// No table columns: constant or outer-only predicate; keep it
+			// residual so correlated envs resolve.
+			plan.residual = append(plan.residual, e)
+		case len(tables) == 1:
+			for idx := range tables {
+				plan.perTable[idx] = append(plan.perTable[idx], e)
+			}
+		default:
+			if edge, ok := asJoinEdge(e, refNames, rels); ok {
+				edges = append(edges, edge)
+				continue
+			}
+			// Multi-table inequality, three-or-more-table predicate, or an
+			// equality with a mixed-side operand (e.g. a.x = a.y + b.z):
+			// neither side can be evaluated against a single relation, so
+			// the predicate filters the joined rows instead.
+			plan.residual = append(plan.residual, e)
+		}
+	}
+
+	// Greedy join order: start from table 0, repeatedly attach a table
+	// connected by at least one usable edge; cross join as a last resort.
+	joinedSet := map[int]bool{0: true}
+	used := make([]bool, len(edges))
+	for len(joinedSet) < len(rels) {
+		next := -1
+		for i, e := range edges {
+			if used[i] {
+				continue
+			}
+			if joinedSet[e.lt] != joinedSet[e.rt] {
+				if joinedSet[e.lt] {
+					next = e.rt
+				} else {
+					next = e.lt
+				}
+				break
+			}
+		}
+		if next < 0 {
+			// No connecting edge: cross join the lowest unjoined table.
+			for i := range rels {
+				if !joinedSet[i] {
+					next = i
+					break
+				}
+			}
+			plan.steps = append(plan.steps, joinStep{next: next})
+			joinedSet[next] = true
+			continue
+		}
+		// Gather every edge connecting joinedSet to `next`, oriented so the
+		// left side references the joined set and the right side `next`.
+		step := joinStep{next: next}
+		for i, e := range edges {
+			if used[i] {
+				continue
+			}
+			l, r := e.expr.Left, e.expr.Right
+			switch {
+			case e.rt == next && joinedSet[e.lt]:
+				// already oriented
+			case e.lt == next && joinedSet[e.rt]:
+				l, r = r, l
+			default:
+				continue
+			}
+			step.leftKeys = append(step.leftKeys, l)
+			step.rightKeys = append(step.rightKeys, r)
+			used[i] = true
+		}
+		plan.steps = append(plan.steps, step)
+		joinedSet[next] = true
+	}
+
+	// Any edges never used (e.g. both sides joined via other paths) become
+	// residual filters.
+	for i, e := range edges {
+		if !used[i] {
+			plan.residual = append(plan.residual, e.expr)
+		}
+	}
+	return plan, nil
+}
+
+// asJoinEdge reports whether e is a hash-joinable equality: each side must
+// reference exactly one table, and the two sides different ones. An
+// equality where one side mixes tables (a.x = a.y + b.z) is NOT an edge —
+// the mixed side cannot be evaluated against a single relation — and must
+// stay a residual predicate.
+func asJoinEdge(e ast.Expr, refNames []string, rels []*relation) (joinEdge, bool) {
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || be.Op != ast.OpEq {
+		return joinEdge{}, false
+	}
+	lt, err := sideTable(be.Left, refNames, rels)
+	if err != nil || lt < 0 {
+		return joinEdge{}, false
+	}
+	rt, err := sideTable(be.Right, refNames, rels)
+	if err != nil || rt < 0 || rt == lt {
+		return joinEdge{}, false
+	}
+	return joinEdge{expr: be, lt: lt, rt: rt}, true
+}
 
 // joinAll combines the FROM relations using hash joins extracted from the
 // WHERE clause. It returns the joined relation and the residual predicates
@@ -16,184 +182,91 @@ func (c *execCtx) joinAll(q *ast.Query, rels []*relation, outer *env) (*relation
 	for i := range q.From {
 		refNames[i] = q.From[i].RefName()
 	}
-
-	conjuncts := ast.Conjuncts(q.Where)
-	type classified struct {
-		expr   ast.Expr
-		tables map[int]bool // FROM indexes referenced
-		sub    bool         // contains a subquery
-	}
-	classify := func(e ast.Expr) classified {
-		cl := classified{expr: e, tables: map[int]bool{}, sub: ast.HasSubquery(e)}
-		for _, col := range ast.Columns(e) {
-			if idx := resolveTable(col, refNames, rels); idx >= 0 {
-				cl.tables[idx] = true
-			}
-		}
-		return cl
-	}
-
-	var (
-		perTable = make([][]ast.Expr, len(rels))
-		edges    []classified // two-table equality predicates
-		residual []ast.Expr
-	)
-	for _, e := range conjuncts {
-		cl := classify(e)
-		switch {
-		case cl.sub:
-			residual = append(residual, e)
-		case len(cl.tables) == 0:
-			// No table columns: constant or outer-only predicate; keep it
-			// residual so correlated envs resolve.
-			residual = append(residual, e)
-		case len(cl.tables) == 1:
-			for idx := range cl.tables {
-				perTable[idx] = append(perTable[idx], e)
-			}
-		case len(cl.tables) == 2 && isEquiJoin(e):
-			edges = append(edges, cl)
-		default:
-			residual = append(residual, e)
-		}
+	plan, err := planJoin(q, refNames, rels)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	// Apply single-table filters before joining.
-	for i, preds := range perTable {
+	for i, preds := range plan.perTable {
 		if len(preds) == 0 {
 			continue
 		}
-		pred := ast.AndAll(preds)
-		filtered, err := c.filter(rels[i], pred, outer)
+		filtered, err := c.filter(rels[i], ast.AndAll(preds), outer)
 		if err != nil {
 			return nil, nil, err
 		}
 		rels[i] = filtered
 	}
 
-	// Greedy join: start from table 0, repeatedly attach a table connected
-	// by at least one usable equi-join edge; cross join as a last resort.
-	joinedSet := map[int]bool{0: true}
 	cur := rels[0]
-	used := make([]bool, len(edges))
-	for len(joinedSet) < len(rels) {
-		next := -1
-		for i, e := range edges {
-			if used[i] {
-				continue
+	for _, st := range plan.steps {
+		if len(st.leftKeys) == 0 {
+			cur, err = c.crossJoin(cur, rels[st.next])
+			if err != nil {
+				return nil, nil, err
 			}
-			in, out := 0, -1
-			for t := range e.tables {
-				if joinedSet[t] {
-					in++
-				} else {
-					out = t
-				}
-			}
-			if in == 1 && out >= 0 {
-				next = out
-				break
-			}
-		}
-		if next < 0 {
-			// no connecting edge: cross join the lowest unjoined table
-			for i := range rels {
-				if !joinedSet[i] {
-					next = i
-					break
-				}
-			}
-			cur = crossJoin(cur, rels[next])
-			joinedSet[next] = true
 			continue
 		}
-		// Gather every edge connecting joinedSet to `next`.
-		var leftKeys, rightKeys []ast.Expr
-		for i, e := range edges {
-			if used[i] {
-				continue
-			}
-			if !e.tables[next] {
-				continue
-			}
-			other := -1
-			for t := range e.tables {
-				if t != next {
-					other = t
-				}
-			}
-			if other < 0 || !joinedSet[other] {
-				continue
-			}
-			be := e.expr.(*ast.BinaryExpr)
-			// Orient: left side references the joined set, right side `next`.
-			l, r := be.Left, be.Right
-			if sideTable(l, refNames, rels) == next {
-				l, r = r, l
-			}
-			leftKeys = append(leftKeys, l)
-			rightKeys = append(rightKeys, r)
-			used[i] = true
-		}
-		var err error
-		cur, err = c.hashJoin(cur, rels[next], leftKeys, rightKeys, outer)
+		build, err := c.buildJoinMap(rels[st.next], st.rightKeys, outer)
 		if err != nil {
 			return nil, nil, err
 		}
-		joinedSet[next] = true
-	}
-
-	// Any edges we never used (e.g. both sides joined via other paths)
-	// become residual filters.
-	for i, e := range edges {
-		if !used[i] {
-			residual = append(residual, e.expr)
+		cur, err = c.probeJoin(cur, build, st.leftKeys, outer)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
-	return cur, residual, nil
+	return cur, plan.residual, nil
 }
 
-// resolveTable maps a column reference to its FROM index, or -1 (outer ref).
-func resolveTable(col *ast.ColumnRef, refNames []string, rels []*relation) int {
+// resolveTable maps a column reference to its FROM index, or -1 (outer
+// ref). An unqualified name that resolves in more than one FROM relation is
+// an error (standard SQL ambiguity semantics) — binding it silently to the
+// first match would filter or join the wrong table.
+func resolveTable(col *ast.ColumnRef, refNames []string, rels []*relation) (int, error) {
 	if col.Column == "*" {
-		return -1
+		return -1, nil
 	}
 	if col.Table != "" {
 		for i, n := range refNames {
 			if n == col.Table {
-				return i
+				return i, nil
 			}
 		}
-		return -1
+		return -1, nil
 	}
+	found := -1
 	for i, r := range rels {
 		if idx, err := r.indexOf("", col.Column); err == nil && idx >= 0 {
-			return i
+			if found >= 0 {
+				return -1, fmt.Errorf("engine: column reference is ambiguous: %s (in %s and %s)",
+					col.Column, refNames[found], refNames[i])
+			}
+			found = i
 		}
 	}
-	return -1
+	return found, nil
 }
 
-// isEquiJoin reports whether e is an equality between two expressions.
-func isEquiJoin(e ast.Expr) bool {
-	b, ok := e.(*ast.BinaryExpr)
-	return ok && b.Op == ast.OpEq
-}
-
-// sideTable returns the single FROM index an expression references, or -1.
-func sideTable(e ast.Expr, refNames []string, rels []*relation) int {
+// sideTable returns the single FROM index an expression references, or -1
+// when it references none or mixes several.
+func sideTable(e ast.Expr, refNames []string, rels []*relation) (int, error) {
 	idx := -1
 	for _, col := range ast.Columns(e) {
-		t := resolveTable(col, refNames, rels)
+		t, err := resolveTable(col, refNames, rels)
+		if err != nil {
+			return -1, err
+		}
 		if t < 0 {
 			continue
 		}
 		if idx >= 0 && idx != t {
-			return -1
+			return -1, nil
 		}
 		idx = t
 	}
-	return idx
+	return idx, nil
 }
 
 // filter applies a predicate to a relation, sharding across workers when
@@ -230,26 +303,101 @@ func (c *execCtx) filter(r *relation, pred ast.Expr, outer *env) (*relation, err
 	return &relation{cols: r.cols, rows: out}, nil
 }
 
-// hashJoin joins left and right on the given key expression lists.
-// leftKeys[i] evaluates against left rows, rightKeys[i] against right rows.
-func (c *execCtx) hashJoin(left, right *relation, leftKeys, rightKeys []ast.Expr, outer *env) (*relation, error) {
-	build := make(map[string][][]value.Value, len(right.rows))
-	for _, row := range right.rows {
-		en := &env{rel: right, row: row, outer: outer, ctx: c}
-		key, null, err := joinKey(en, rightKeys)
-		if err != nil {
-			return nil, err
-		}
-		if null {
-			continue
-		}
-		build[key] = append(build[key], row)
-	}
-	cols := append(append([]colInfo(nil), left.cols...), right.cols...)
+// joinBuild is a materialized hash-join build side, partitioned by key
+// hash. Each partition map is owned (built and read) without locks; a
+// key's rows live entirely in one partition, appended in build-side row
+// order, so probe output is independent of the partition count.
+type joinBuild struct {
+	cols  []colInfo
+	parts []map[string][][]value.Value
+}
 
-	// Probe phase: shard the probe side when the keys are subquery-free;
-	// per-shard outputs concatenate in shard order, matching the
-	// sequential emit order.
+// lookup returns the build rows matching one (non-NULL) probe key.
+func (b *joinBuild) lookup(key string) [][]value.Value {
+	return b.parts[joinPartition(key, len(b.parts))][key]
+}
+
+// joinPartition assigns a key to one of n partitions (FNV-1a).
+func joinPartition(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// buildJoinMap hashes the build side of one join. When the keys are
+// subquery-free and the relation is large enough, construction is sharded
+// in two lock-free phases: contiguous row-range workers evaluate every
+// row's key and its partition id (NULL keys get partition -1 and are
+// skipped), then one worker per partition collects the rows it owns,
+// scanning in row order.
+func (c *execCtx) buildJoinMap(right *relation, rightKeys []ast.Expr, outer *env) (*joinBuild, error) {
+	n := len(right.rows)
+	shards := c.shardCount(n)
+	if shards <= 1 || !parallelSafe(outer, rightKeys...) {
+		m := make(map[string][][]value.Value, n)
+		for _, row := range right.rows {
+			en := &env{rel: right, row: row, outer: outer, ctx: c}
+			key, null, err := joinKey(en, rightKeys)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue
+			}
+			m[key] = append(m[key], row)
+		}
+		return &joinBuild{cols: right.cols, parts: []map[string][][]value.Value{m}}, nil
+	}
+
+	keys := make([]string, n)
+	partIDs := make([]int32, n) // -1 = NULL key; hashed once, in phase 1
+	if _, err := shardedCollect(c, shards, n, func(sc *execCtx, lo, hi int) (struct{}, error) {
+		for i := lo; i < hi; i++ {
+			en := &env{rel: right, row: right.rows[i], outer: outer, ctx: sc}
+			key, null, err := joinKey(en, rightKeys)
+			if err != nil {
+				return struct{}{}, err
+			}
+			if null {
+				partIDs[i] = -1
+				continue
+			}
+			keys[i] = key
+			partIDs[i] = int32(joinPartition(key, shards))
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	parts := make([]map[string][][]value.Value, shards)
+	if err := parallelDo(shards, func(p int) error {
+		m := make(map[string][][]value.Value, n/shards+1)
+		for i, id := range partIDs {
+			if id == int32(p) {
+				m[keys[i]] = append(m[keys[i]], right.rows[i])
+			}
+		}
+		parts[p] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return &joinBuild{cols: right.cols, parts: parts}, nil
+}
+
+// probeJoin probes the accumulated relation against a materialized build.
+// The probe side shards by contiguous row ranges when the keys are
+// subquery-free; per-shard outputs concatenate in shard order, matching
+// the sequential emit order.
+func (c *execCtx) probeJoin(left *relation, build *joinBuild, leftKeys []ast.Expr, outer *env) (*relation, error) {
+	cols := append(append([]colInfo(nil), left.cols...), build.cols...)
 	probeShard := func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
 		var out [][]value.Value
 		for _, lrow := range left.rows[lo:hi] {
@@ -261,7 +409,7 @@ func (c *execCtx) hashJoin(left, right *relation, leftKeys, rightKeys []ast.Expr
 			if null {
 				continue
 			}
-			for _, rrow := range build[key] {
+			for _, rrow := range build.lookup(key) {
 				combined := make([]value.Value, 0, len(lrow)+len(rrow))
 				combined = append(combined, lrow...)
 				combined = append(combined, rrow...)
@@ -303,17 +451,54 @@ func joinKey(en *env, keys []ast.Expr) (string, bool, error) {
 	return b.String(), false, nil
 }
 
-// crossJoin produces the Cartesian product of two relations.
-func crossJoin(left, right *relation) *relation {
-	cols := append(append([]colInfo(nil), left.cols...), right.cols...)
-	out := make([][]value.Value, 0, len(left.rows)*len(right.rows))
-	for _, l := range left.rows {
-		for _, r := range right.rows {
-			combined := make([]value.Value, 0, len(l)+len(r))
-			combined = append(combined, l...)
-			combined = append(combined, r...)
-			out = append(out, combined)
-		}
+// maxJoinPrealloc caps a join operator's output preallocation, in rows.
+// The exact cross-product size len(left)*len(right) can overflow int — and
+// even in range it can demand a multi-GB allocation before a single row
+// exists — so large outputs start at the cap and grow.
+const maxJoinPrealloc = 1 << 16
+
+// crossPrealloc sizes the output buffer for an l×r cross product. The
+// overflow check divides instead of multiplying: l*r itself can wrap all
+// the way back into small positive values (or exactly 0) for huge inputs.
+func crossPrealloc(l, r int) int {
+	if l == 0 || r == 0 {
+		return 0
 	}
-	return &relation{cols: cols, rows: out}
+	if l > maxJoinPrealloc/r {
+		return maxJoinPrealloc
+	}
+	return l * r
+}
+
+// crossJoin produces the Cartesian product of two relations, sharding the
+// outer (left) loop by contiguous row ranges; shard outputs concatenate in
+// shard order, so row order matches the sequential nested loop.
+func (c *execCtx) crossJoin(left, right *relation) (*relation, error) {
+	cols := append(append([]colInfo(nil), left.cols...), right.cols...)
+	crossShard := func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
+		out := make([][]value.Value, 0, crossPrealloc(hi-lo, len(right.rows)))
+		for _, l := range left.rows[lo:hi] {
+			for _, r := range right.rows {
+				combined := make([]value.Value, 0, len(l)+len(r))
+				combined = append(combined, l...)
+				combined = append(combined, r...)
+				out = append(out, combined)
+			}
+		}
+		return out, nil
+	}
+
+	shards := c.shardCount(len(left.rows))
+	if shards <= 1 {
+		out, err := crossShard(c, 0, len(left.rows))
+		if err != nil {
+			return nil, err
+		}
+		return &relation{cols: cols, rows: out}, nil
+	}
+	out, err := c.shardedRows(shards, len(left.rows), crossShard)
+	if err != nil {
+		return nil, err
+	}
+	return &relation{cols: cols, rows: out}, nil
 }

@@ -31,11 +31,17 @@ import (
 // Workers are joined before the query returns — early exit can never leak a
 // goroutine, because no iterator owns one.
 //
+// Multi-table queries stream through the probe side of their joins: the
+// build sides (every table the greedy join order attaches) materialize
+// into partitioned hash tables, and table 0's scan streams through the
+// probe chain one batch at a time (see joinStream), feeding projection or
+// grouped aggregation without the join output ever existing as a whole.
+//
 // Operators with no streaming form fall back to the materialized engine:
-// joins, DISTINCT, ORDER BY, and (correlated) subqueries. ORDER BY and
-// DISTINCT over a single-table scan still stream the scan→filter front of
-// the pipeline and materialize only the survivors ("partial" streaming);
-// everything else — multi-table FROM, FROM subqueries, any subquery
+// DISTINCT, ORDER BY (except streamed top-N), and (correlated) subqueries.
+// ORDER BY and DISTINCT over a single-table scan still stream the
+// scan→filter front of the pipeline and materialize only the survivors
+// ("partial" streaming); everything else — FROM subqueries, any subquery
 // expression, correlated evaluation under a non-nil outer env — takes the
 // fully materialized path. Results are byte-identical to the materialized
 // path at every batch size and parallelism level, with the same single
@@ -172,6 +178,284 @@ func (it *projectIterator) next() ([][]value.Value, error) {
 
 func (it *projectIterator) close() { it.in.close() }
 
+// probeIterator expands each probe-side batch through one join step: hash
+// probe against a partitioned materialized build (build != nil) or cross
+// join (cross != nil). Each probe row extends with its matching build rows
+// in build-side row order — exactly the materialized probe's emit order —
+// but output batches are capped at the pipeline batch size: a probe row
+// with a large fanout (duplicate build keys, or a cross join's whole right
+// side) is emitted across as many batches as it takes, with the expansion
+// position carried between next calls. The cap is what keeps a streamed
+// join's wire frames and the consumer's working set batch-sized even when
+// the join output is far larger than its input.
+type probeIterator struct {
+	in    batchIterator
+	rel   *relation  // layout of the incoming (probe-side) rows
+	keys  []ast.Expr // probe key expressions (hash step)
+	build *joinBuild // hash step: partitioned build side
+	cross *relation  // cross step: full build side
+	outer *env
+	c     *execCtx
+
+	// Expansion state carried across next calls.
+	batch   [][]value.Value // input batch being consumed
+	bi      int             // next input row in batch
+	lrow    []value.Value   // probe row whose matches are mid-emission
+	matches [][]value.Value // its remaining build rows start at mi
+	mi      int
+}
+
+func (it *probeIterator) next() ([][]value.Value, error) {
+	target := it.c.batch
+	if target <= 0 {
+		target = DefaultBatchSize
+	}
+	var out [][]value.Value
+	for {
+		// Drain the in-flight expansion first.
+		for it.mi < len(it.matches) {
+			if len(out) >= target {
+				return out, nil
+			}
+			rrow := it.matches[it.mi]
+			it.mi++
+			combined := make([]value.Value, 0, len(it.lrow)+len(rrow))
+			combined = append(combined, it.lrow...)
+			combined = append(combined, rrow...)
+			out = append(out, combined)
+		}
+		if it.bi >= len(it.batch) {
+			b, err := it.in.next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if len(out) > 0 {
+					return out, nil
+				}
+				return nil, nil
+			}
+			it.batch, it.bi = b, 0
+			continue
+		}
+		lrow := it.batch[it.bi]
+		it.bi++
+		if it.cross != nil {
+			it.lrow, it.matches, it.mi = lrow, it.cross.rows, 0
+			continue
+		}
+		en := &env{rel: it.rel, row: lrow, outer: it.outer, ctx: it.c}
+		key, null, err := joinKey(en, it.keys)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		it.lrow, it.matches, it.mi = lrow, it.build.lookup(key), 0
+	}
+}
+
+func (it *probeIterator) close() { it.in.close() }
+
+// joinStreamPlan is the shared, read-only state of one streamed join:
+// the probe table (table 0 — the probe side of every step, since the
+// greedy order always grows from it), the join plan, the filtered and
+// materialized build sides (hash partitions or cross buffers), and the
+// layouts. Once prepared, any number of workers can assemble independent
+// iterator chains over disjoint probe-row ranges.
+type joinStreamPlan struct {
+	q      *ast.Query
+	t0     *storage.Table
+	plan   *joinPlan
+	rels   []*relation  // rels[0] is layout-only; rows stream
+	builds []*joinBuild // one per plan step; nil for cross steps
+	joined *relation    // joined layout (residual/grouping evaluation)
+}
+
+// prepareJoinStream plans a multi-table q and materializes every build
+// side (charging the build-side scans and filters on c, with sharded
+// builds). The caller must have verified stream eligibility (batch size,
+// base tables, no subqueries) and that every FROM table exists.
+func (c *execCtx) prepareJoinStream(q *ast.Query, outer *env) (*joinStreamPlan, error) {
+	refNames := make([]string, len(q.From))
+	for i := range q.From {
+		refNames[i] = q.From[i].RefName()
+	}
+	t0, err := c.eng.Cat.Table(q.From[0].Name)
+	if err != nil {
+		return nil, err
+	}
+	rels := make([]*relation, len(q.From))
+	cols0 := make([]colInfo, len(t0.Schema.Cols))
+	for i, col := range t0.Schema.Cols {
+		cols0[i] = colInfo{table: refNames[0], name: col.Name}
+	}
+	rels[0] = &relation{cols: cols0} // layout only; rows stream
+	for i := 1; i < len(q.From); i++ {
+		r, err := c.execFrom(&q.From[i], outer)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+
+	plan, err := planJoin(q, refNames, rels)
+	if err != nil {
+		return nil, err
+	}
+	// Build-side single-table filters apply materialized; table 0's run
+	// inside the stream.
+	for i := 1; i < len(rels); i++ {
+		if len(plan.perTable[i]) == 0 {
+			continue
+		}
+		filtered, err := c.filter(rels[i], ast.AndAll(plan.perTable[i]), outer)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = filtered
+	}
+
+	jp := &joinStreamPlan{q: q, t0: t0, plan: plan, rels: rels}
+	cols := append([]colInfo(nil), rels[0].cols...)
+	for _, st := range plan.steps {
+		var build *joinBuild
+		if len(st.leftKeys) > 0 {
+			build, err = c.buildJoinMap(rels[st.next], st.rightKeys, outer)
+			if err != nil {
+				return nil, err
+			}
+		}
+		jp.builds = append(jp.builds, build)
+		cols = append(cols[:len(cols):len(cols)], rels[st.next].cols...)
+	}
+	jp.joined = &relation{cols: cols}
+	return jp, nil
+}
+
+// chain assembles one streamed-probe pipeline over probe rows [lo,hi),
+// evaluating on sc (so a shard context accumulates its own stats):
+//
+//	scan(t0) ─batch─▶ filter ─▶ probe₁ ─▶ … ─▶ probeₙ ─▶ residual ─▶ project
+//
+// The pipeline executes exactly the joinAll plan, so rows and row order
+// are byte-identical to the materialized path; what changes is that the
+// join output — often the largest intermediate of the query — never
+// exists as a whole, and the first joined batch is available after one
+// probe batch instead of after the full probe scan.
+func (jp *joinStreamPlan) chain(sc *execCtx, outer *env, lo, hi int, project bool) batchIterator {
+	var it batchIterator = newScanIterator(sc.stats, jp.t0, lo, hi, sc.batch)
+	if len(jp.plan.perTable[0]) > 0 {
+		it = &filterIterator{in: it, rel: jp.rels[0], pred: ast.AndAll(jp.plan.perTable[0]), outer: outer, c: sc}
+	}
+	cols := jp.rels[0].cols
+	for si, st := range jp.plan.steps {
+		probeLayout := &relation{cols: cols}
+		if jp.builds[si] == nil {
+			it = &probeIterator{in: it, rel: probeLayout, cross: jp.rels[st.next], outer: outer, c: sc}
+		} else {
+			it = &probeIterator{in: it, rel: probeLayout, keys: st.leftKeys, build: jp.builds[si], outer: outer, c: sc}
+		}
+		cols = append(cols[:len(cols):len(cols)], jp.rels[st.next].cols...)
+	}
+	if len(jp.plan.residual) > 0 {
+		it = &filterIterator{in: it, rel: jp.joined, pred: ast.AndAll(jp.plan.residual), outer: outer, c: sc}
+	}
+	if project {
+		it = &projectIterator{in: it, q: jp.q, rel: jp.joined, aliases: aliasMap(jp.q), outer: outer, c: sc}
+	}
+	return it
+}
+
+// joinStream prepares a multi-table q and returns the single sequential
+// pipeline over the full probe range plus the joined layout — the shape
+// ExecuteStream pulls (a stream has one consumer).
+func (c *execCtx) joinStream(q *ast.Query, outer *env, project bool) (batchIterator, *relation, error) {
+	jp, err := c.prepareJoinStream(q, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return jp.chain(c, outer, 0, len(jp.t0.Rows), project), jp.joined, nil
+}
+
+// execJoinStreamed is the batch-mode entry for multi-table queries: the
+// join input streams through the probe pipeline, composing with sharding
+// exactly like single-table streaming — the build sides are prepared once
+// and each worker runs its own chain over a contiguous probe-row range,
+// with per-shard outputs (row batches or group states) recombining in
+// shard order. Grouped queries fold each joined batch straight into the
+// accumulation states (the join output is never materialized); non-grouped
+// queries drain with LIMIT early exit (a limit forces the one sequential
+// chain, as in streamRows). ORDER BY / DISTINCT shapes fall back to the
+// materialized operators.
+func (c *execCtx) execJoinStreamed(q *ast.Query, outer *env) (*relation, bool, error) {
+	for i := range q.From {
+		if _, err := c.eng.Cat.Table(q.From[i].Name); err != nil {
+			// Let the materialized path report the unknown table
+			// consistently.
+			return nil, false, nil
+		}
+	}
+	grouped := c.isGrouped(q)
+	if !grouped && (len(q.OrderBy) > 0 || q.Distinct) {
+		return nil, false, nil
+	}
+	jp, err := c.prepareJoinStream(q, outer)
+	if err != nil {
+		return nil, true, err
+	}
+	n := len(jp.t0.Rows)
+	// Eligibility already guarantees parallelSafe: outer is nil and no
+	// clause contains a subquery.
+	shards := c.shardCount(n)
+
+	if grouped {
+		specs := c.collectAggSpecs(q)
+		groups, err := c.streamGroups(specs, n, func(sc *execCtx, gs *groupSet, lo, hi int) error {
+			return sc.accumulateJoinStream(q, specs, gs, jp, outer, lo, hi)
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		out, err := c.finishGrouped(q, specs, groups, jp.joined, outer)
+		return out, true, err
+	}
+
+	if shards <= 1 || q.Limit >= 0 {
+		rows, err := drainLimit(jp.chain(c, outer, 0, n, true), q.Limit)
+		if err != nil {
+			return nil, true, err
+		}
+		return &relation{cols: projectionCols(q), rows: rows}, true, nil
+	}
+	rows, err := c.shardedRows(shards, n, func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
+		return drainLimit(jp.chain(sc, outer, lo, hi, true), -1)
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	return &relation{cols: projectionCols(q), rows: rows}, true, nil
+}
+
+// accumulateJoinStream pulls one shard's join chain over probe rows
+// [lo,hi) and folds each joined batch into gs.
+func (c *execCtx) accumulateJoinStream(q *ast.Query, specs []aggSpec, gs *groupSet, jp *joinStreamPlan, outer *env, lo, hi int) error {
+	it := jp.chain(c, outer, lo, hi, false)
+	for {
+		b, err := it.next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if err := c.accumulateRows(q, specs, gs, jp.joined, b, outer); err != nil {
+			return err
+		}
+	}
+}
+
 // streamPipeline assembles scan → [filter] → [project] over t's rows
 // [lo,hi), evaluating on c (so a shard context accumulates its own stats).
 func (c *execCtx) streamPipeline(q *ast.Query, t *storage.Table, layout *relation, aliases map[string]ast.Expr, outer *env, lo, hi int, project bool) batchIterator {
@@ -231,8 +515,16 @@ func streamBlocked(q *ast.Query) bool {
 // materialized path); the relation it returns is the pre-DISTINCT,
 // pre-LIMIT output, exactly like execGrouped/execProject return it.
 func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, error) {
-	if c.batch <= 0 || outer != nil || len(q.From) != 1 || q.From[0].Sub != nil || streamBlocked(q) {
+	if c.batch <= 0 || outer != nil || len(q.From) == 0 || streamBlocked(q) {
 		return nil, false, nil
+	}
+	for i := range q.From {
+		if q.From[i].Sub != nil {
+			return nil, false, nil
+		}
+	}
+	if len(q.From) > 1 {
+		return c.execJoinStreamed(q, outer)
 	}
 	f := &q.From[0]
 	t, err := c.eng.Cat.Table(f.Name)
@@ -310,39 +602,44 @@ func (c *execCtx) streamRows(q *ast.Query, t *storage.Table, layout *relation, a
 
 // execGroupedStream feeds grouped aggregation from the scan→filter stream:
 // each batch folds into the per-group accumulation states, so the filtered
-// input relation is never materialized. Sharded execution accumulates one
-// groupSet per worker range and merges them in shard order through the
-// same AggState.Merge path the materialized sharded engine uses.
+// input relation is never materialized.
 func (c *execCtx) execGroupedStream(q *ast.Query, t *storage.Table, layout *relation, outer *env) (*relation, error) {
 	specs := c.collectAggSpecs(q)
-	n := len(t.Rows)
-	// Eligibility already guarantees parallelSafe: outer is nil and no
-	// clause contains a subquery.
-	shards := c.shardCount(n)
-	var groups *groupSet
-	if shards <= 1 {
-		gs := newGroupSet()
-		if err := c.accumulateStream(q, specs, gs, layout, outer, 0, n, t); err != nil {
-			return nil, err
-		}
-		groups = gs
-	} else {
-		parts, err := shardedCollect(c, shards, n, func(sc *execCtx, lo, hi int) (*groupSet, error) {
-			gs := newGroupSet()
-			if err := sc.accumulateStream(q, specs, gs, layout, outer, lo, hi, t); err != nil {
-				return nil, err
-			}
-			return gs, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		groups, err = c.mergeGroupParts(specs, parts)
-		if err != nil {
-			return nil, err
-		}
+	groups, err := c.streamGroups(specs, len(t.Rows), func(sc *execCtx, gs *groupSet, lo, hi int) error {
+		return sc.accumulateStream(q, specs, gs, layout, outer, lo, hi, t)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return c.finishGrouped(q, specs, groups, layout, outer)
+}
+
+// streamGroups runs the sharded grouped-stream protocol over n input rows:
+// acc folds one contiguous row range into a fresh groupSet on a shard
+// context, and the per-shard sets merge in shard order through the same
+// AggState.Merge path the materialized sharded engine uses. Callers must
+// already have established parallel safety (nil outer env, subquery-free
+// clauses — the streaming eligibility gate).
+func (c *execCtx) streamGroups(specs []aggSpec, n int, acc func(sc *execCtx, gs *groupSet, lo, hi int) error) (*groupSet, error) {
+	shards := c.shardCount(n)
+	if shards <= 1 {
+		gs := newGroupSet()
+		if err := acc(c, gs, 0, n); err != nil {
+			return nil, err
+		}
+		return gs, nil
+	}
+	parts, err := shardedCollect(c, shards, n, func(sc *execCtx, lo, hi int) (*groupSet, error) {
+		gs := newGroupSet()
+		if err := acc(sc, gs, lo, hi); err != nil {
+			return nil, err
+		}
+		return gs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.mergeGroupParts(specs, parts)
 }
 
 // Streamed top-N: ORDER BY ... LIMIT k over a streamed scan keeps only

@@ -16,15 +16,19 @@ import (
 //
 // Two delivery modes, chosen per query:
 //
-//   - Pipelined: a single-table, subquery-free, non-grouped query with no
-//     ORDER BY or DISTINCT (the common RemoteSQL projection shape) runs the
-//     scan → filter → project iterator chain of stream.go directly, one
-//     batch per Next call, with LIMIT counting the stream down and closing
-//     the scan early. Nothing is materialized; time-to-first-batch is
-//     O(batch), not O(scan). The chain is pulled sequentially — a stream
-//     has one consumer — so rows match the materialized path exactly.
+//   - Pipelined: a subquery-free, non-grouped query over base tables with
+//     no ORDER BY or DISTINCT (the common RemoteSQL fetch shape) runs the
+//     iterator chain of stream.go directly, one batch per Next call, with
+//     LIMIT counting the stream down and closing the scan early. A
+//     single-table query streams scan → filter → project; a multi-table
+//     query streams the probe side of its joins (scan → filter → probe… →
+//     residual → project) against build sides materialized before the
+//     first batch. Beyond the build sides nothing is materialized;
+//     time-to-first-batch is O(build + batch), not O(probe scan). The
+//     chain is pulled sequentially — a stream has one consumer — so rows
+//     match the materialized path exactly.
 //   - Fallback: every other shape (grouped aggregation, ORDER BY, DISTINCT,
-//     joins, subqueries) executes through Execute — including its sharded
+//     subqueries) executes through Execute — including its sharded
 //     and batch-streamed internal paths — and the finished rows are emitted
 //     in batch-size chunks. The first batch only becomes available once the
 //     result exists, but the consumer still gets incremental delivery, and
@@ -104,27 +108,52 @@ func (e *Engine) ExecuteStream(q *ast.Query, params map[string]value.Value) (*Re
 	}, nil
 }
 
-// pipelinedStream builds the incremental scan → filter → project stream
-// for q if it is pipeline-eligible; ok=false means the caller must take
-// the materialized fallback.
+// pipelinedStream builds the incremental pipeline for q if it is
+// pipeline-eligible — a subquery-free, non-grouped query over base tables
+// with no ORDER BY or DISTINCT, either single-table (scan → filter →
+// project) or multi-table (the streamed-probe join pipeline of
+// stream.go's joinStream: scan → filter → probe… → residual → project,
+// with every build side materialized up front) — ok=false means the
+// caller must take the materialized fallback.
 func (c *execCtx) pipelinedStream(q *ast.Query) (*ResultStream, bool) {
-	if c.batch <= 0 || len(q.From) != 1 || q.From[0].Sub != nil || streamBlocked(q) {
+	if c.batch <= 0 || len(q.From) == 0 || streamBlocked(q) {
 		return nil, false
+	}
+	for i := range q.From {
+		if q.From[i].Sub != nil {
+			return nil, false
+		}
 	}
 	if c.isGrouped(q) || len(q.OrderBy) > 0 || q.Distinct {
 		return nil, false
 	}
-	t, err := c.eng.Cat.Table(q.From[0].Name)
-	if err != nil {
-		// Let the fallback path report the unknown table consistently.
-		return nil, false
+	for i := range q.From {
+		if _, err := c.eng.Cat.Table(q.From[i].Name); err != nil {
+			// Let the fallback path report the unknown table consistently.
+			return nil, false
+		}
 	}
-	cols := make([]colInfo, len(t.Schema.Cols))
-	for i, col := range t.Schema.Cols {
-		cols[i] = colInfo{table: q.From[0].RefName(), name: col.Name}
+	var it batchIterator
+	if len(q.From) == 1 {
+		t, _ := c.eng.Cat.Table(q.From[0].Name)
+		cols := make([]colInfo, len(t.Schema.Cols))
+		for i, col := range t.Schema.Cols {
+			cols[i] = colInfo{table: q.From[0].RefName(), name: col.Name}
+		}
+		layout := &relation{cols: cols}
+		it = c.streamPipeline(q, t, layout, aliasMap(q), nil, 0, len(t.Rows), true)
+	} else {
+		// The build sides materialize here, before the first Next: their
+		// scan charges are part of time-to-first-batch, exactly as a real
+		// hash join cannot probe before its builds finish. A planning or
+		// build error falls back and surfaces identically from the
+		// materialized executor.
+		jit, _, err := c.joinStream(q, nil, true)
+		if err != nil {
+			return nil, false
+		}
+		it = jit
 	}
-	layout := &relation{cols: cols}
-	it := c.streamPipeline(q, t, layout, aliasMap(q), nil, 0, len(t.Rows), true)
 	remaining := q.Limit // < 0 = unlimited
 	var names []string
 	for _, ci := range projectionCols(q) {

@@ -164,6 +164,111 @@ func TestTimeToFirstBatchBeatsServerTime(t *testing.T) {
 	}
 }
 
+// joinBigFixture extends bigFixture with a dimension table whose DET join
+// key shares big.b's key (same join group — the designer's JoinGroups do
+// this for workload join columns), so the server can hash-join the two
+// encrypted tables.
+func joinBigFixture(t testing.TB, rows int) *Server {
+	t.Helper()
+	cat := storage.NewCatalog()
+	big, err := cat.Create(storage.Schema{
+		Name: "big",
+		Cols: []storage.Column{
+			{Name: "a", Type: storage.TInt},
+			{Name: "b", Type: storage.TInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		big.MustInsert([]value.Value{value.NewInt(int64(i)), value.NewInt(int64(i % 97))})
+	}
+	dim, err := cat.Create(storage.Schema{
+		Name: "dim",
+		Cols: []storage.Column{
+			{Name: "d_id", Type: storage.TInt},
+			{Name: "d_tag", Type: storage.TInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 97; i++ {
+		dim.MustInsert([]value.Value{value.NewInt(int64(i)), value.NewInt(int64(i * 7))})
+	}
+	ks, err := enc.NewKeyStore([]byte("stream-join-test"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design := &enc.Design{}
+	design.Add(enc.ColumnItem("big", "a", enc.DET, value.Int))
+	bKey := enc.ColumnItem("big", "b", enc.DET, value.Int)
+	bKey.JoinGroup = "jk"
+	design.Add(bKey)
+	dKey := enc.ColumnItem("dim", "d_id", enc.DET, value.Int)
+	dKey.JoinGroup = "jk"
+	design.Add(dKey)
+	design.Add(enc.ColumnItem("dim", "d_tag", enc.DET, value.Int))
+	db, err := enc.EncryptDatabase(cat, design, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db, netsim.Default())
+}
+
+// TestJoinTimeToFirstBatchBeatsServerTime is the multi-table pipelining
+// acceptance test (the join-layer mirror of the single-table one above):
+// with the streamed hash-join probe, the first joined encrypted batch
+// leaves the server long before the simulated probe scan completes —
+// TimeToFirstBatch < ServerTime — and the drained stream carries exactly
+// the rows the materialized Execute returns.
+func TestJoinTimeToFirstBatchBeatsServerTime(t *testing.T) {
+	const rows = 4000
+	srv := joinBigFixture(t, rows)
+	srv.SetBatchSize(64)
+	q := sqlparser.MustParse(`SELECT a_det, d_tag_det FROM big, dim WHERE b_det = d_id_det`)
+	var buf bytes.Buffer
+	st, err := srv.ExecuteStream(q, nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != rows {
+		t.Fatalf("join stream shipped %d rows, want %d (every probe row matches one dim row)", st.Rows, rows)
+	}
+	if st.Batches < rows/64 {
+		t.Fatalf("stream produced %d batches over %d rows at batch 64", st.Batches, rows)
+	}
+	if st.TimeToFirstBatch <= 0 || st.ServerTime <= 0 {
+		t.Fatalf("timings not charged: ttfb=%v server=%v", st.TimeToFirstBatch, st.ServerTime)
+	}
+	if st.TimeToFirstBatch >= st.ServerTime {
+		t.Fatalf("TimeToFirstBatch %v >= ServerTime %v: join probe is not pipelined", st.TimeToFirstBatch, st.ServerTime)
+	}
+	if st.TimeToFirstBatch > st.ServerTime/8 {
+		t.Errorf("TimeToFirstBatch %v is not batch-proportional (ServerTime %v)",
+			st.TimeToFirstBatch, st.ServerTime)
+	}
+	want, err := srv.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rowsGot := drainWire(t, &buf)
+	if len(rowsGot) != len(want.Result.Rows) {
+		t.Fatalf("stream has %d rows, Execute has %d", len(rowsGot), len(want.Result.Rows))
+	}
+	for i, wrow := range want.Result.Rows {
+		for j, wv := range wrow {
+			if value.Compare(wv, rowsGot[i][j]) != 0 {
+				t.Fatalf("row %d col %d: %v != %v", i, j, rowsGot[i][j], wv)
+			}
+		}
+	}
+	if st.ServerTime != want.ServerTime {
+		t.Errorf("streamed ServerTime %v != materialized %v", st.ServerTime, want.ServerTime)
+	}
+}
+
 // TestExecuteStreamAbandoned: a client that stops reading mid-stream (its
 // LIMIT satisfied) closes the pipe; the server's scan must abort promptly,
 // charge only the work done, and leave no goroutine behind.

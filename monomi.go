@@ -54,8 +54,12 @@
 // batch straight into its per-group states, LIMIT stops the scan as soon
 // as enough rows are produced, and streaming composes with sharding: every
 // worker streams its own row range and the per-shard partials merge
-// exactly as in materialized sharded execution. Joins, DISTINCT, ORDER BY
-// and subqueries fall back to the materialized operators (ORDER BY and
+// exactly as in materialized sharded execution. Multi-table queries stream
+// the probe side of their joins: build sides materialize into partitioned
+// hash tables (sharded by key hash, no global lock) and the first table's
+// scan flows through the probe chain batch-at-a-time, so the join output
+// is never materialized whole. DISTINCT, post-join ORDER BY, and
+// subqueries fall back to the materialized operators (ORDER BY and
 // DISTINCT still stream the scan→filter front; ORDER BY with LIMIT runs a
 // streamed bounded-heap top-N). Results are byte-identical to materialized
 // execution at every ⟨BatchSize, Parallelism⟩ combination, with the same
@@ -71,7 +75,10 @@
 // the trusted client decodes each arriving batch on a pool of Parallelism
 // decrypt workers, merging decrypted rows in batch order. The decryption
 // cache and the Paillier pack cache are sharded-mutex concurrent, so the
-// workers share them without serializing. Results are byte-identical to
+// workers share them without serializing. Multi-table RemoteSQL pipelines
+// the same way: the server hash-joins the encrypted tables (shared-key
+// DET join groups) and ships joined batches mid-probe, so join-heavy
+// queries see their first plaintext row after build + one batch. Results are byte-identical to
 // the materialized wire; what changes is latency shape — the first
 // plaintext row is available after one batch instead of after the whole
 // scan (Rows.TimeToFirstRow) — and peak client memory, since encrypted
@@ -141,7 +148,8 @@ func (d *Database) MustCreateTable(name string, cols ...Column) {
 	}
 }
 
-// Insert appends a row; date columns take "YYYY-MM-DD" strings.
+// Insert appends a row; date columns take "YYYY-MM-DD" strings, and a nil
+// value inserts SQL NULL (encrypted as NULL — nullness is not hidden).
 func (d *Database) Insert(table string, vals ...any) error {
 	t, err := d.cat.Table(table)
 	if err != nil {
@@ -462,6 +470,9 @@ func colType(t ColType) storage.ColType {
 }
 
 func toValue(t storage.ColType, v any) (value.Value, error) {
+	if v == nil {
+		return value.NewNull(), nil
+	}
 	switch t {
 	case storage.TInt:
 		switch x := v.(type) {
