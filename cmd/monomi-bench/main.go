@@ -11,6 +11,7 @@
 //	monomi-bench -exp table2          # Table 2: server space
 //	monomi-bench -exp table3          # Table 3: security census
 //	monomi-bench -exp join            # streamed hash-join probe scenario
+//	monomi-bench -exp stream          # grouped + DISTINCT streamed-wire scenario
 //	monomi-bench -exp all
 package main
 
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|all")
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	bits := flag.Int("paillier", 512, "Paillier modulus bits (paper: 1024)")
@@ -34,6 +35,7 @@ func main() {
 	batch := flag.Int("batchsize", 0, "streamed-execution batch size for suite experiments (0 = materialized)")
 	stream := flag.Bool("streamwire", false, "stream encrypted result batches to the client mid-scan (suite experiments)")
 	joinRows := flag.Int("joinrows", 50000, "probe-side rows for the join scenario (-exp join)")
+	streamRows := flag.Int("streamrows", 60000, "input rows for the grouped+DISTINCT streamed-wire scenario (-exp stream)")
 	flag.Parse()
 
 	scale := tpch.ScaleFactor(*sf)
@@ -98,6 +100,10 @@ func main() {
 			fmt.Println(suite.Stats().String())
 		case "join":
 			if err := joinScenario(*joinRows, *par, *batch); err != nil {
+				log.Fatal(err)
+			}
+		case "stream":
+			if err := streamScenario(*streamRows, *par, *batch); err != nil {
 				log.Fatal(err)
 			}
 		default:

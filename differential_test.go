@@ -328,3 +328,64 @@ func TestDifferentialParallelismInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialShardedStream is the sharded-single-stream dimension of
+// the grid: with the streamed wire the server-side producer is now
+// sharded (per-worker row ranges feeding a shard-order merger), and the
+// engine streams DISTINCT and grouped emission — so every shape the
+// producer can take {plain scan, DISTINCT, GROUP BY (incl. Paillier
+// aggregates), join probe, ORDER BY…LIMIT} must be byte-identical to the
+// sequential one-puller baseline across p 1/2/4 × bs 0/64 × StreamWire.
+// Row order is asserted verbatim (ordered=true for every shape): the
+// stream contract pins order even where SQL would not.
+func TestDifferentialShardedStream(t *testing.T) {
+	sys := diffSystem(t)
+	shapes := []string{
+		// plain scan → filter → project (the sharded merger's home shape)
+		"SELECT s_id, s_price FROM sales WHERE s_price >= 300",
+		// streaming DISTINCT (seen-set emission; server-side and in the
+		// client's local residual engine)
+		"SELECT DISTINCT s_cat FROM sales WHERE s_qty < 40",
+		"SELECT DISTINCT s_cat, s_qty FROM sales WHERE s_price >= 500",
+		// grouped emission (Paillier sums finalize batch-at-a-time)
+		"SELECT s_cat, SUM(s_price), COUNT(*) FROM sales GROUP BY s_cat",
+		"SELECT s_cat, SUM(s_qty) FROM sales WHERE s_price >= 200 GROUP BY s_cat",
+		// streamed join probe through the sharded producer
+		"SELECT s_id, c_region, c_tier FROM sales, cats WHERE s_cat = c_name AND s_qty < 30",
+		// streamed top-N production
+		"SELECT s_id, s_price FROM sales WHERE s_qty < 45 ORDER BY s_price DESC, s_id LIMIT 23",
+		// LIMIT across sharded producers (batch boundary and mid-batch)
+		"SELECT s_id FROM sales WHERE s_price >= 100 LIMIT 64",
+		"SELECT s_id FROM sales LIMIT 70",
+		"SELECT s_id FROM sales LIMIT 0",
+	}
+	base := make([][]string, len(shapes))
+	for _, bs := range diffBatchSizes {
+		sys.SetBatchSize(bs)
+		for _, sw := range diffStreamWire {
+			sys.SetStreamWire(sw)
+			sys.SetParallelism(1) // the sequential one-puller baseline
+			for i, sql := range shapes {
+				res, err := sys.Query(sql)
+				if err != nil {
+					t.Fatalf("baseline bs=%d sw=%v %s: %v", bs, sw, sql, err)
+				}
+				base[i] = canonicalRows(t, res.Data, true)
+			}
+			for _, par := range []int{2, 4} {
+				sys.SetParallelism(par)
+				for i, sql := range shapes {
+					res, err := sys.Query(sql)
+					if err != nil {
+						t.Fatalf("p=%d bs=%d sw=%v %s: %v", par, bs, sw, sql, err)
+					}
+					got := canonicalRows(t, res.Data, true)
+					if strings.Join(got, "\n") != strings.Join(base[i], "\n") {
+						t.Errorf("p=%d bs=%d sw=%v %s diverges from sequential puller:\n%v\nvs\n%v",
+							par, bs, sw, sql, got, base[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,11 @@ package client
 // plaintext cache are sharded-mutex safe), and the main loop merges
 // decrypted batches strictly in batch order into the temp table — so rows,
 // row order, and encodings are byte-identical to the materialized wire.
+// The server side of the stream may now be produced by its own worker pool
+// (the engine's sharded single-stream production): the protocol is
+// unchanged and batch order is still authoritative, but batches can arrive
+// at a burstier cadence — another reason the decode pool pulls from a
+// buffered frame queue rather than pacing itself on the wire.
 //
 // Error/abandon handling is symmetric: a server error poisons the pipe and
 // surfaces at the reader; a client-side decode error closes the pipe,

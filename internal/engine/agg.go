@@ -369,18 +369,21 @@ func specsHaveUDF(specs []aggSpec) bool {
 	return false
 }
 
-// resolveAggResults finalizes every group's aggregates — one
-// AggState.Result per (group, spec) — fanning contiguous group ranges
-// across the context's workers when UDF aggregates are present. The
-// AggState contract requires Result to tolerate concurrent invocation
-// across distinct states (the server's Paillier UDF accumulates its stats
-// atomically for exactly this). Errors surface in group order, matching
-// the sequential loop.
-func (c *execCtx) resolveAggResults(specs []aggSpec, groups *groupSet) ([]map[string]value.Value, error) {
-	n := len(groups.order)
+// resolveAggResults finalizes the aggregates of groups [lo,hi) in
+// first-appearance order — one AggState.Result per (group, spec) —
+// fanning contiguous group sub-ranges across the context's workers when
+// UDF aggregates are present. The AggState contract requires Result to
+// tolerate concurrent invocation across distinct states (the server's
+// Paillier UDF accumulates its stats atomically for exactly this). Errors
+// surface in group order, matching the sequential loop. Streamed grouped
+// emission calls this one output batch of groups at a time, so the
+// Paillier work both fans across workers and is never performed for
+// groups a LIMIT cuts off.
+func (c *execCtx) resolveAggResults(specs []aggSpec, groups *groupSet, lo, hi int) ([]map[string]value.Value, error) {
+	n := hi - lo
 	out := make([]map[string]value.Value, n)
 	resolve := func(gi int) error {
-		grp := groups.m[groups.order[gi]]
+		grp := groups.m[groups.order[lo+gi]]
 		vals := make(map[string]value.Value, len(specs))
 		for i, sp := range specs {
 			if sp.agg != nil {
@@ -422,6 +425,51 @@ func (c *execCtx) resolveAggResults(specs []aggSpec, groups *groupSet) ([]map[st
 	return out, nil
 }
 
+// ensureGroup guarantees the single implicit group of an aggregate query
+// without GROUP BY: even over zero input rows it produces exactly one row
+// (COUNT(*) = 0, SUM = NULL).
+func (c *execCtx) ensureGroup(q *ast.Query, specs []aggSpec, groups *groupSet) error {
+	if len(q.GroupBy) > 0 || len(groups.order) > 0 {
+		return nil
+	}
+	grp, err := c.newAggGroup(specs, nil)
+	if err != nil {
+		return err
+	}
+	groups.m[""] = grp
+	groups.order = append(groups.order, "")
+	return nil
+}
+
+// groupEnv builds the evaluation environment for one finalized group:
+// the group's retained first row for GROUP BY column references, its
+// resolved aggregate values, and the SELECT-list aliases.
+func groupEnv(c *execCtx, in *relation, grp *aggGroup, aggVals map[string]value.Value, aliases map[string]ast.Expr, outer *env) *env {
+	en := &env{rel: in, row: grp.firstRow, outer: outer, aggs: aggVals, aliases: aliases, ctx: c}
+	if grp.firstRow == nil {
+		en.rel = nil
+	}
+	return en
+}
+
+// finalizeGroup turns one resolved group into its output row on en —
+// HAVING filter then projection; keep=false means HAVING dropped the
+// group. Shared by the materialized finisher and the streamed emitter so
+// the two grouped paths cannot diverge.
+func finalizeGroup(en *env, q *ast.Query) ([]value.Value, bool, error) {
+	if q.Having != nil {
+		ok, err := evalBool(en, q.Having)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	vals, err := projectRow(en, q)
+	if err != nil {
+		return nil, false, err
+	}
+	return vals, true, nil
+}
+
 // execGrouped handles the aggregation path: GROUP BY (possibly empty =
 // single group), aggregate computation, HAVING, projection, ORDER BY.
 func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation, error) {
@@ -441,22 +489,15 @@ func (c *execCtx) execGrouped(q *ast.Query, in *relation, outer *env) (*relation
 func (c *execCtx) finishGrouped(q *ast.Query, specs []aggSpec, groups *groupSet, in *relation, outer *env) (*relation, error) {
 	aliases := aliasMap(q)
 
-	// A query with aggregates but no GROUP BY produces exactly one group,
-	// even over zero input rows.
-	if len(q.GroupBy) == 0 && len(groups.order) == 0 {
-		grp, err := c.newAggGroup(specs, nil)
-		if err != nil {
-			return nil, err
-		}
-		groups.m[""] = grp
-		groups.order = append(groups.order, "")
+	if err := c.ensureGroup(q, specs, groups); err != nil {
+		return nil, err
 	}
 
 	// Finalize all groups' aggregates first — in parallel across groups
 	// when UDF aggregates make it worthwhile (the per-group Paillier work
 	// the ROADMAP flags); HAVING/projection below stay sequential, where
 	// subqueries and outer references remain legal.
-	resolved, err := c.resolveAggResults(specs, groups)
+	resolved, err := c.resolveAggResults(specs, groups, 0, len(groups.order))
 	if err != nil {
 		return nil, err
 	}
@@ -466,22 +507,13 @@ func (c *execCtx) finishGrouped(q *ast.Query, specs []aggSpec, groups *groupSet,
 	for gi, key := range groups.order {
 		grp := groups.m[key]
 		aggVals := resolved[gi]
-		en := &env{rel: in, row: grp.firstRow, outer: outer, aggs: aggVals, aliases: aliases, ctx: c}
-		if grp.firstRow == nil {
-			en.rel = nil
-		}
-		if q.Having != nil {
-			ok, err := evalBool(en, q.Having)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		vals, err := projectRow(en, q)
+		en := groupEnv(c, in, grp, aggVals, aliases, outer)
+		vals, keep, err := finalizeGroup(en, q)
 		if err != nil {
 			return nil, err
+		}
+		if !keep {
+			continue
 		}
 		k := keyedRow{row: vals}
 		if len(q.OrderBy) > 0 {
@@ -503,3 +535,82 @@ func (c *execCtx) finishGrouped(q *ast.Query, specs []aggSpec, groups *groupSet,
 	}
 	return &relation{cols: outCols, rows: rows}, nil
 }
+
+// groupEmitter streams grouped emission: once accumulation has completed,
+// the finished groups finalize and emit in output batches instead of all
+// at once — each next() call resolves one batch worth of groups
+// (resolveAggResults fans their Paillier Result work across workers),
+// applies HAVING, and projects the survivors. The materialized grouped
+// result never exists, TimeToFirstBatch for a grouped stream is
+// O(accumulation + one batch of finalization) rather than O(accumulation
+// + all finalization), and a LIMIT that stops pulling leaves the
+// remaining groups' (expensive, crypto-heavy) finalization unperformed.
+// Emission requires no ORDER BY: group first-appearance order is the
+// contract, exactly as the materialized path emits without a sort.
+type groupEmitter struct {
+	c       *execCtx
+	q       *ast.Query
+	specs   []aggSpec
+	groups  *groupSet
+	in      *relation // column layout for GROUP BY references; rows nil
+	outer   *env
+	aliases map[string]ast.Expr
+	size    int
+	pos     int
+	closed  bool
+}
+
+// newGroupEmitter prepares batch emission over the accumulated groups.
+func (c *execCtx) newGroupEmitter(q *ast.Query, specs []aggSpec, groups *groupSet, in *relation, outer *env) (*groupEmitter, error) {
+	if err := c.ensureGroup(q, specs, groups); err != nil {
+		return nil, err
+	}
+	size := c.batch
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &groupEmitter{
+		c: c, q: q, specs: specs, groups: groups, in: in, outer: outer,
+		aliases: aliasMap(q), size: size,
+	}, nil
+}
+
+func (g *groupEmitter) next() ([][]value.Value, error) {
+	for !g.closed && g.pos < len(g.groups.order) {
+		lo := g.pos
+		hi := lo + g.size
+		if hi > len(g.groups.order) {
+			hi = len(g.groups.order)
+		}
+		g.pos = hi
+		resolved, err := g.c.resolveAggResults(g.specs, g.groups, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]value.Value, 0, hi-lo)
+		for gi := lo; gi < hi; gi++ {
+			grp := g.groups.m[g.groups.order[gi]]
+			en := groupEnv(g.c, g.in, grp, resolved[gi-lo], g.aliases, g.outer)
+			vals, keep, err := finalizeGroup(en, g.q)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out = append(out, vals)
+			}
+		}
+		// Release the emitted groups: a shipped batch must not stay
+		// pinned (nor its accumulator states — for Paillier aggregates
+		// the per-group state is the expensive part) until the stream
+		// ends, mirroring sliceIterator's release-on-emit contract.
+		for gi := lo; gi < hi; gi++ {
+			delete(g.groups.m, g.groups.order[gi])
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (g *groupEmitter) close() { g.closed = true }

@@ -58,6 +58,20 @@ func (s *Stats) Add(o Stats) {
 	s.BatchesStreamed += o.BatchesStreamed
 }
 
+// Sub subtracts other from s — the delta between two cumulative snapshots
+// of the same accumulator (how multi-producer streams fold each worker's
+// progress exactly once).
+func (s *Stats) Sub(o Stats) {
+	s.BytesScanned -= o.BytesScanned
+	s.ExtraBytes -= o.ExtraBytes
+	s.RowsScanned -= o.RowsScanned
+	s.RowsOut -= o.RowsOut
+	s.UDFNanos -= o.UDFNanos
+	s.SubqueryRuns -= o.SubqueryRuns
+	s.RowsStreamed -= o.RowsStreamed
+	s.BatchesStreamed -= o.BatchesStreamed
+}
+
 // Result is a fully materialized query result.
 type Result struct {
 	Cols  []string
@@ -216,10 +230,12 @@ func (r *relation) indexOf(table, col string) (int, error) {
 // execQuery runs a full SELECT and returns its output relation. outer is the
 // enclosing row environment for correlated subqueries (nil at top level).
 func (c *execCtx) execQuery(q *ast.Query, outer *env) (*relation, error) {
-	// Streaming batch-at-a-time path (BatchSize > 0, single-table,
+	// Streaming batch-at-a-time path (BatchSize > 0, base tables,
 	// subquery-free); not handled means fall through to the materialized
-	// operators.
-	out, handled, err := c.execStreamed(q, outer)
+	// operators. deduped reports that the streamed path already applied
+	// DISTINCT (the streaming seen-set emission), so the materialized
+	// keep-bitmap pass below must not run again.
+	out, handled, deduped, err := c.execStreamed(q, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +256,7 @@ func (c *execCtx) execQuery(q *ast.Query, outer *env) (*relation, error) {
 		}
 	}
 
-	if q.Distinct {
+	if q.Distinct && !deduped {
 		out = c.distinct(out)
 	}
 	if q.Limit >= 0 && len(out.rows) > q.Limit {

@@ -102,7 +102,15 @@ func (c *execCtx) shardCtx() *execCtx {
 // order. Shard stats fold into c after the barrier; on error no stats are
 // folded (the query is abandoned anyway).
 func shardedCollect[T any](c *execCtx, shards, n int, fn func(sc *execCtx, lo, hi int) (T, error)) ([]T, error) {
-	bounds := shardBounds(n, shards)
+	return shardedCollectBounds(c, shardBounds(n, shards), fn)
+}
+
+// shardedCollectBounds is shardedCollect over caller-supplied shard
+// ranges — how streaming loops pin their shards to the scan's batch grid
+// (shardStreamBounds), so per-batch statistics stay identical to a
+// sequential stream at every parallelism level.
+func shardedCollectBounds[T any](c *execCtx, bounds [][2]int, fn func(sc *execCtx, lo, hi int) (T, error)) ([]T, error) {
+	shards := len(bounds)
 	parts := make([]T, shards)
 	stats := make([]Stats, shards)
 	err := parallelDo(shards, func(s int) error {
@@ -127,7 +135,12 @@ func shardedCollect[T any](c *execCtx, shards, n int, fn func(sc *execCtx, lo, h
 // shardedRows is shardedCollect for row-producing shards, concatenating
 // the per-shard outputs in shard order (preserving input row order).
 func (c *execCtx) shardedRows(shards, n int, fn func(sc *execCtx, lo, hi int) ([][]value.Value, error)) ([][]value.Value, error) {
-	parts, err := shardedCollect(c, shards, n, fn)
+	return c.shardedRowsBounds(shardBounds(n, shards), fn)
+}
+
+// shardedRowsBounds is shardedRows over caller-supplied shard ranges.
+func (c *execCtx) shardedRowsBounds(bounds [][2]int, fn func(sc *execCtx, lo, hi int) ([][]value.Value, error)) ([][]value.Value, error) {
+	parts, err := shardedCollectBounds(c, bounds, fn)
 	if err != nil {
 		return nil, err
 	}

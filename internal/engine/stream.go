@@ -34,20 +34,27 @@ import (
 // Multi-table queries stream through the probe side of their joins: the
 // build sides (every table the greedy join order attaches) materialize
 // into partitioned hash tables, and table 0's scan streams through the
-// probe chain one batch at a time (see joinStream), feeding projection or
+// probe chain one batch at a time (see joinStreamPlan.chain), feeding projection or
 // grouped aggregation without the join output ever existing as a whole.
 //
-// Operators with no streaming form fall back to the materialized engine:
-// DISTINCT, ORDER BY (except streamed top-N), and (correlated) subqueries.
-// ORDER BY and DISTINCT over a single-table scan still stream the
-// scan→filter front of the pipeline and materialize only the survivors
+// DISTINCT without ORDER BY streams too: a seen-set filter over the
+// projected stream emits each row's first occurrence batch-at-a-time
+// (distinctIterator sequentially; streamDistinct's per-shard pre-dedup +
+// shard-order replay when sharded), replacing the materialized keep-bitmap
+// pass. Operators with no streaming form fall back to the materialized
+// engine: full ORDER BY sorts (except streamed top-N) and (correlated)
+// subqueries. ORDER BY over a single-table scan still streams the
+// scan→filter front of the pipeline and materializes only the survivors
 // ("partial" streaming); everything else — FROM subqueries, any subquery
 // expression, correlated evaluation under a non-nil outer env — takes the
-// fully materialized path. Results are byte-identical to the materialized
-// path at every batch size and parallelism level, with the same single
-// carve-out documented in parallel.go: SUM/AVG over Float columns may
-// differ in the last ULP when sharded, because per-shard partial sums
-// regroup the float additions (batching alone does not reorder them).
+// fully materialized path. Sharded streaming loops pin their shard bounds
+// to the sequential scan's batch grid (shardStreamBounds), so per-batch
+// statistics — not just results — are identical at every parallelism
+// level. Results are byte-identical to the materialized path at every
+// batch size and parallelism level, with the same single carve-out
+// documented in parallel.go: SUM/AVG over Float columns may differ in the
+// last ULP when sharded, because per-shard partial sums regroup the float
+// additions (batching alone does not reorder them).
 
 // DefaultBatchSize is the batch size callers that just want streaming
 // should use: large enough to amortize per-batch overhead, small enough
@@ -177,6 +184,122 @@ func (it *projectIterator) next() ([][]value.Value, error) {
 }
 
 func (it *projectIterator) close() { it.in.close() }
+
+// dedupBatch filters b down to the rows whose dedup key is not yet in
+// seen, marking the survivors. keys, when non-nil, supplies the rows'
+// pre-rendered keys (keys[i] belongs to b[i]); otherwise keys render
+// here. Returns the surviving rows and their keys in a fresh slice
+// (never aliasing b's backing array). Every streaming dedup — the
+// sequential distinctIterator, the sharded producer's local pre-dedup,
+// the merger's and streamDistinct's global first-occurrence filters —
+// goes through this one loop.
+func dedupBatch(seen map[string]bool, b [][]value.Value, keys []string) ([][]value.Value, []string) {
+	kept := b[:0:0]
+	var keptKeys []string
+	for i, row := range b {
+		var k string
+		if keys != nil {
+			k = keys[i]
+		} else {
+			k = distinctKey(row)
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, row)
+		keptKeys = append(keptKeys, k)
+	}
+	return kept, keptKeys
+}
+
+// distinctIterator streams DISTINCT: a seen-set over the projected rows
+// emits only each row's first occurrence, batch-at-a-time — the streaming
+// replacement for the materialized keep-bitmap pass (engine.distinct) on
+// single-consumer pipelines. Batches the dedup empties entirely are
+// skipped, like filterIterator's.
+type distinctIterator struct {
+	in   batchIterator
+	seen map[string]bool
+}
+
+func (it *distinctIterator) next() ([][]value.Value, error) {
+	if it.seen == nil {
+		it.seen = make(map[string]bool)
+	}
+	for {
+		b, err := it.in.next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out, _ := dedupBatch(it.seen, b, nil)
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (it *distinctIterator) close() { it.in.close() }
+
+// lazyIterator defers building its inner iterator to the first pull, so a
+// stream whose production has an expensive up-front phase (grouped
+// accumulation, a top-N scan) performs no work if the consumer closes it —
+// or LIMIT-0s it — before reading.
+type lazyIterator struct {
+	mk     func() (batchIterator, error)
+	it     batchIterator
+	err    error
+	closed bool
+}
+
+func (l *lazyIterator) next() ([][]value.Value, error) {
+	if l.err != nil || l.closed {
+		return nil, l.err
+	}
+	if l.it == nil {
+		l.it, l.err = l.mk()
+		if l.err != nil {
+			return nil, l.err
+		}
+	}
+	return l.it.next()
+}
+
+func (l *lazyIterator) close() {
+	l.closed = true
+	if l.it != nil {
+		l.it.close()
+	}
+}
+
+// sliceIterator chunks an already-materialized row set into batches,
+// releasing each chunk's row pointers as it is emitted so a consumed
+// prefix (and the ciphertext blobs it references) is collectable before
+// the stream ends.
+type sliceIterator struct {
+	rows [][]value.Value
+	size int
+	pos  int
+}
+
+func (it *sliceIterator) next() ([][]value.Value, error) {
+	if it.pos >= len(it.rows) {
+		return nil, nil
+	}
+	end := it.pos + it.size
+	if end > len(it.rows) {
+		end = len(it.rows)
+	}
+	b := make([][]value.Value, end-it.pos)
+	copy(b, it.rows[it.pos:end])
+	for i := it.pos; i < end; i++ {
+		it.rows[i] = nil
+	}
+	it.pos = end
+	return b, nil
+}
+
+func (it *sliceIterator) close() { it.pos = len(it.rows) }
 
 // probeIterator expands each probe-side batch through one join step: hash
 // probe against a partitioned materialized build (build != nil) or cross
@@ -368,17 +491,6 @@ func (jp *joinStreamPlan) chain(sc *execCtx, outer *env, lo, hi int, project boo
 	return it
 }
 
-// joinStream prepares a multi-table q and returns the single sequential
-// pipeline over the full probe range plus the joined layout — the shape
-// ExecuteStream pulls (a stream has one consumer).
-func (c *execCtx) joinStream(q *ast.Query, outer *env, project bool) (batchIterator, *relation, error) {
-	jp, err := c.prepareJoinStream(q, outer)
-	if err != nil {
-		return nil, nil, err
-	}
-	return jp.chain(c, outer, 0, len(jp.t0.Rows), project), jp.joined, nil
-}
-
 // execJoinStreamed is the batch-mode entry for multi-table queries: the
 // join input streams through the probe pipeline, composing with sharding
 // exactly like single-table streaming — the build sides are prepared once
@@ -387,23 +499,24 @@ func (c *execCtx) joinStream(q *ast.Query, outer *env, project bool) (batchItera
 // shard order. Grouped queries fold each joined batch straight into the
 // accumulation states (the join output is never materialized); non-grouped
 // queries drain with LIMIT early exit (a limit forces the one sequential
-// chain, as in streamRows). ORDER BY / DISTINCT shapes fall back to the
+// chain, as in streamRows); DISTINCT without ORDER BY streams through the
+// per-shard dedup of streamDistinct. ORDER BY shapes fall back to the
 // materialized operators.
-func (c *execCtx) execJoinStreamed(q *ast.Query, outer *env) (*relation, bool, error) {
+func (c *execCtx) execJoinStreamed(q *ast.Query, outer *env) (*relation, bool, bool, error) {
 	for i := range q.From {
 		if _, err := c.eng.Cat.Table(q.From[i].Name); err != nil {
 			// Let the materialized path report the unknown table
 			// consistently.
-			return nil, false, nil
+			return nil, false, false, nil
 		}
 	}
 	grouped := c.isGrouped(q)
-	if !grouped && (len(q.OrderBy) > 0 || q.Distinct) {
-		return nil, false, nil
+	if !grouped && len(q.OrderBy) > 0 {
+		return nil, false, false, nil
 	}
 	jp, err := c.prepareJoinStream(q, outer)
 	if err != nil {
-		return nil, true, err
+		return nil, true, false, err
 	}
 	n := len(jp.t0.Rows)
 	// Eligibility already guarantees parallelSafe: outer is nil and no
@@ -416,26 +529,36 @@ func (c *execCtx) execJoinStreamed(q *ast.Query, outer *env) (*relation, bool, e
 			return sc.accumulateJoinStream(q, specs, gs, jp, outer, lo, hi)
 		})
 		if err != nil {
-			return nil, true, err
+			return nil, true, false, err
 		}
 		out, err := c.finishGrouped(q, specs, groups, jp.joined, outer)
-		return out, true, err
+		return out, true, false, err
+	}
+
+	if q.Distinct {
+		rows, err := c.streamDistinct(q, n, func(sc *execCtx, lo, hi int) batchIterator {
+			return jp.chain(sc, outer, lo, hi, true)
+		})
+		if err != nil {
+			return nil, true, true, err
+		}
+		return &relation{cols: projectionCols(q), rows: rows}, true, true, nil
 	}
 
 	if shards <= 1 || q.Limit >= 0 {
 		rows, err := drainLimit(jp.chain(c, outer, 0, n, true), q.Limit)
 		if err != nil {
-			return nil, true, err
+			return nil, true, false, err
 		}
-		return &relation{cols: projectionCols(q), rows: rows}, true, nil
+		return &relation{cols: projectionCols(q), rows: rows}, true, false, nil
 	}
-	rows, err := c.shardedRows(shards, n, func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
+	rows, err := c.shardedRowsBounds(shardStreamBounds(n, shards, c.batch), func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
 		return drainLimit(jp.chain(sc, outer, lo, hi, true), -1)
 	})
 	if err != nil {
-		return nil, true, err
+		return nil, true, false, err
 	}
-	return &relation{cols: projectionCols(q), rows: rows}, true, nil
+	return &relation{cols: projectionCols(q), rows: rows}, true, false, nil
 }
 
 // accumulateJoinStream pulls one shard's join chain over probe rows
@@ -510,17 +633,29 @@ func streamBlocked(q *ast.Query) bool {
 	return false
 }
 
+// tableLayout builds the column layout of one base table scanned under the
+// given alias — the relation whose rows stream instead of materializing.
+func tableLayout(t *storage.Table, ref string) *relation {
+	cols := make([]colInfo, len(t.Schema.Cols))
+	for i, col := range t.Schema.Cols {
+		cols[i] = colInfo{table: ref, name: col.Name}
+	}
+	return &relation{cols: cols}
+}
+
 // execStreamed attempts the batch-at-a-time path for q. It reports
 // handled=false when the query is not streamable (the caller then runs the
-// materialized path); the relation it returns is the pre-DISTINCT,
-// pre-LIMIT output, exactly like execGrouped/execProject return it.
-func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, error) {
+// materialized path); the relation it returns is the pre-LIMIT output,
+// exactly like execGrouped/execProject return it. deduped=true means
+// DISTINCT was already applied in-stream (streamDistinct), so the caller
+// must skip the materialized dedup pass.
+func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, bool, error) {
 	if c.batch <= 0 || outer != nil || len(q.From) == 0 || streamBlocked(q) {
-		return nil, false, nil
+		return nil, false, false, nil
 	}
 	for i := range q.From {
 		if q.From[i].Sub != nil {
-			return nil, false, nil
+			return nil, false, false, nil
 		}
 	}
 	if len(q.From) > 1 {
@@ -530,25 +665,35 @@ func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, error
 	t, err := c.eng.Cat.Table(f.Name)
 	if err != nil {
 		// Let the materialized path report the unknown table consistently.
-		return nil, false, nil
+		return nil, false, false, nil
 	}
-	cols := make([]colInfo, len(t.Schema.Cols))
-	for i, col := range t.Schema.Cols {
-		cols[i] = colInfo{table: f.RefName(), name: col.Name}
-	}
-	layout := &relation{cols: cols}
+	layout := tableLayout(t, f.RefName())
 
 	if c.isGrouped(q) {
 		out, err := c.execGroupedStream(q, t, layout, outer)
-		return out, true, err
+		return out, true, false, err
 	}
 
 	if len(q.OrderBy) == 0 && !q.Distinct {
 		rows, err := c.streamProject(q, t, layout, outer)
 		if err != nil {
-			return nil, true, err
+			return nil, true, false, err
 		}
-		return &relation{cols: projectionCols(q), rows: rows}, true, nil
+		return &relation{cols: projectionCols(q), rows: rows}, true, false, nil
+	}
+
+	// DISTINCT without ORDER BY: fully streamed dedup — the seen-set
+	// emission of streamDistinct replaces the materialize-then-bitmap
+	// pass, with LIMIT counting deduplicated rows.
+	if q.Distinct && len(q.OrderBy) == 0 {
+		aliases := aliasMap(q)
+		rows, err := c.streamDistinct(q, len(t.Rows), func(sc *execCtx, lo, hi int) batchIterator {
+			return sc.streamPipeline(q, t, layout, aliases, outer, lo, hi, true)
+		})
+		if err != nil {
+			return nil, true, true, err
+		}
+		return &relation{cols: projectionCols(q), rows: rows}, true, true, nil
 	}
 
 	// ORDER BY ... LIMIT k without DISTINCT: streamed top-N. A bounded
@@ -556,21 +701,69 @@ func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, error
 	// full sort input is never materialized.
 	if len(q.OrderBy) > 0 && q.Limit >= 0 && !q.Distinct {
 		out, err := c.streamTopN(q, t, layout, outer)
-		return out, true, err
+		return out, true, false, err
 	}
 
-	// Mid-query fallback: ORDER BY / DISTINCT need a materialized operator.
-	// The scan→filter front of the pipeline still streams; only its
-	// survivors are materialized and handed to the materialized projector.
-	// The scan iterator has already charged BytesScanned/RowsScanned, so
-	// the drained relation must NOT go back through execFrom — that would
-	// double-count the scan.
+	// Mid-query fallback: ORDER BY (with or without DISTINCT) needs the
+	// materialized sort. The scan→filter front of the pipeline still
+	// streams; only its survivors are materialized and handed to the
+	// materialized projector. The scan iterator has already charged
+	// BytesScanned/RowsScanned, so the drained relation must NOT go back
+	// through execFrom — that would double-count the scan.
 	rows, err := c.streamRows(q, t, layout, nil, outer, false, -1)
 	if err != nil {
-		return nil, true, err
+		return nil, true, false, err
 	}
-	out, err := c.execProject(q, &relation{cols: cols, rows: rows}, outer)
-	return out, true, err
+	out, err := c.execProject(q, &relation{cols: layout.cols, rows: rows}, outer)
+	return out, true, false, err
+}
+
+// streamDistinct drains a projecting pipeline through streaming dedup.
+// Sequentially, one seen-set filters the stream inline. Sharded, each
+// worker drops its own shard's re-occurrences (only a shard's first
+// occurrence of a key can be globally first) and returns the surviving
+// candidates with their rendered keys; the candidates then replay in shard
+// order through one global seen-set, so the kept rows — and their order —
+// are exactly the sequential scan's first occurrences. A LIMIT counts
+// deduplicated output rows and forces the sequential drain, as in
+// streamRows.
+func (c *execCtx) streamDistinct(q *ast.Query, n int, mkChain func(sc *execCtx, lo, hi int) batchIterator) ([][]value.Value, error) {
+	shards := c.shardCount(n)
+	if shards <= 1 || q.Limit >= 0 {
+		return drainLimit(&distinctIterator{in: mkChain(c, 0, n)}, q.Limit)
+	}
+	type part struct {
+		rows [][]value.Value
+		keys []string
+	}
+	parts, err := shardedCollectBounds(c, shardStreamBounds(n, shards, c.batch), func(sc *execCtx, lo, hi int) (part, error) {
+		it := mkChain(sc, lo, hi)
+		defer it.close()
+		seen := make(map[string]bool)
+		var p part
+		for {
+			b, err := it.next()
+			if err != nil {
+				return part{}, err
+			}
+			if b == nil {
+				return p, nil
+			}
+			kept, keys := dedupBatch(seen, b, nil)
+			p.rows = append(p.rows, kept...)
+			p.keys = append(p.keys, keys...)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out [][]value.Value
+	for _, p := range parts {
+		kept, _ := dedupBatch(seen, p.rows, p.keys)
+		out = append(out, kept...)
+	}
+	return out, nil
 }
 
 // streamProject runs the fully streamed non-grouped pipeline: scan →
@@ -595,7 +788,7 @@ func (c *execCtx) streamRows(q *ast.Query, t *storage.Table, layout *relation, a
 	if shards <= 1 || limit >= 0 {
 		return drainLimit(c.streamPipeline(q, t, layout, aliases, outer, 0, n, project), limit)
 	}
-	return c.shardedRows(shards, n, func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
+	return c.shardedRowsBounds(shardStreamBounds(n, shards, c.batch), func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
 		return drainLimit(sc.streamPipeline(q, t, layout, aliases, outer, lo, hi, project), limit)
 	})
 }
@@ -629,7 +822,7 @@ func (c *execCtx) streamGroups(specs []aggSpec, n int, acc func(sc *execCtx, gs 
 		}
 		return gs, nil
 	}
-	parts, err := shardedCollect(c, shards, n, func(sc *execCtx, lo, hi int) (*groupSet, error) {
+	parts, err := shardedCollectBounds(c, shardStreamBounds(n, shards, c.batch), func(sc *execCtx, lo, hi int) (*groupSet, error) {
 		gs := newGroupSet()
 		if err := acc(sc, gs, lo, hi); err != nil {
 			return nil, err
@@ -789,7 +982,7 @@ func (c *execCtx) streamTopN(q *ast.Query, t *storage.Table, layout *relation, o
 			return nil, err
 		}
 	} else {
-		parts, err := shardedCollect(c, shards, n, collect)
+		parts, err := shardedCollectBounds(c, shardStreamBounds(n, shards, c.batch), collect)
 		if err != nil {
 			return nil, err
 		}

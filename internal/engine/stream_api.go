@@ -14,31 +14,40 @@ import (
 // pipeline-eligible queries the first batch crosses the trust boundary
 // while the scan is still running.
 //
-// Two delivery modes, chosen per query:
+// Delivery modes, chosen per query shape (all subquery-free, over base
+// tables, with a nil outer scope — the eligibility gate):
 //
-//   - Pipelined: a subquery-free, non-grouped query over base tables with
-//     no ORDER BY or DISTINCT (the common RemoteSQL fetch shape) runs the
-//     iterator chain of stream.go directly, one batch per Next call, with
-//     LIMIT counting the stream down and closing the scan early. A
-//     single-table query streams scan → filter → project; a multi-table
-//     query streams the probe side of its joins (scan → filter → probe… →
-//     residual → project) against build sides materialized before the
-//     first batch. Beyond the build sides nothing is materialized;
-//     time-to-first-batch is O(build + batch), not O(probe scan). The
-//     chain is pulled sequentially — a stream has one consumer — so rows
-//     match the materialized path exactly.
-//   - Fallback: every other shape (grouped aggregation, ORDER BY, DISTINCT,
-//     subqueries) executes through Execute — including its sharded
-//     and batch-streamed internal paths — and the finished rows are emitted
-//     in batch-size chunks. The first batch only becomes available once the
-//     result exists, but the consumer still gets incremental delivery, and
-//     emitted batches are released as they are consumed, so a large result
-//     is dropped chunk-by-chunk as it ships instead of being retained
-//     whole until the last byte is framed.
+//   - Pipelined rows: a non-grouped query with no ORDER BY (the common
+//     RemoteSQL fetch shape) runs the iterator chain of stream.go, one
+//     batch per Next call, with LIMIT counting the stream down and closing
+//     the scan early. A single-table query streams scan → filter →
+//     project; a multi-table query streams the probe side of its joins
+//     against build sides materialized before the first batch; DISTINCT
+//     streams through a seen-set that emits first occurrences. When the
+//     input is large enough, production shards: Parallelism workers each
+//     run their own chain over a batch-aligned row range and a merger
+//     emits the per-shard queues strictly in shard order (stream_shard.go)
+//     — same rows, same order, one consumer, many producers.
+//   - Grouped emission: a grouped query with no ORDER BY accumulates to
+//     completion first (sharded, AggState.Merge in shard order), then
+//     finalizes and emits completed groups in output batches (agg.go's
+//     groupEmitter), fanning each batch's crypto-heavy Result work across
+//     workers — so time-to-first-batch is accumulation + one batch of
+//     finalization, not + all of it, and a LIMIT skips the unconsumed
+//     groups' Paillier work entirely.
+//   - Streamed top-N: ORDER BY … LIMIT runs the (sharded) bounded-heap
+//     collection of stream.go on the first pull and emits the k winners in
+//     batches; the full sort input never materializes, though the first
+//     batch still requires the whole scan (a sort cannot emit early).
+//   - Fallback: every other shape (full ORDER BY sorts, subqueries,
+//     derived tables) executes through Execute — including its sharded and
+//     batch-streamed internal paths — and the finished rows are emitted in
+//     batch-size chunks, released as they are consumed.
 //
-// A ResultStream is single-goroutine (one puller) and holds no goroutines
-// itself: Close never leaks a worker, no matter how early the consumer
-// abandons the stream.
+// A ResultStream has exactly one consumer; its Close cancels any producer
+// workers, waits for them to exit, and folds the stats of the work they
+// actually performed — no goroutine outlives the stream, no matter how
+// early the consumer abandons it.
 
 // ResultStream is a pull-based streaming query result. The consumer calls
 // Next until it returns nil (stream exhausted) and must call Close if it
@@ -80,41 +89,16 @@ func (e *Engine) ExecuteStream(q *ast.Query, params map[string]value.Value) (*Re
 	if size <= 0 {
 		size = DefaultBatchSize
 	}
-	rows := res.Rows
-	pos := 0
-	return &ResultStream{
-		cols: res.Cols,
-		ctx:  ctx,
-		next: func() ([][]value.Value, error) {
-			if pos >= len(rows) {
-				return nil, nil
-			}
-			end := pos + size
-			if end > len(rows) {
-				end = len(rows)
-			}
-			// Copy the row pointers out, then release the originals: once
-			// the consumer has shipped a chunk, the stream must not pin it
-			// (or the ciphertext blobs it references) until the end.
-			b := make([][]value.Value, end-pos)
-			copy(b, rows[pos:end])
-			for i := pos; i < end; i++ {
-				rows[i] = nil
-			}
-			pos = end
-			return b, nil
-		},
-		close: func() {},
-	}, nil
+	// sliceIterator releases each chunk's row pointers as it is emitted:
+	// once the consumer has shipped a chunk, the stream must not pin it
+	// (or the ciphertext blobs it references) until the end.
+	si := &sliceIterator{rows: res.Rows, size: size}
+	return &ResultStream{cols: res.Cols, ctx: ctx, next: si.next, close: si.close}, nil
 }
 
-// pipelinedStream builds the incremental pipeline for q if it is
-// pipeline-eligible — a subquery-free, non-grouped query over base tables
-// with no ORDER BY or DISTINCT, either single-table (scan → filter →
-// project) or multi-table (the streamed-probe join pipeline of
-// stream.go's joinStream: scan → filter → probe… → residual → project,
-// with every build side materialized up front) — ok=false means the
-// caller must take the materialized fallback.
+// pipelinedStream dispatches q to its incremental delivery mode (see the
+// package comment above): pipelined rows, grouped emission, or streamed
+// top-N. ok=false means the caller must take the materialized fallback.
 func (c *execCtx) pipelinedStream(q *ast.Query) (*ResultStream, bool) {
 	if c.batch <= 0 || len(q.From) == 0 || streamBlocked(q) {
 		return nil, false
@@ -124,36 +108,32 @@ func (c *execCtx) pipelinedStream(q *ast.Query) (*ResultStream, bool) {
 			return nil, false
 		}
 	}
-	if c.isGrouped(q) || len(q.OrderBy) > 0 || q.Distinct {
-		return nil, false
-	}
 	for i := range q.From {
 		if _, err := c.eng.Cat.Table(q.From[i].Name); err != nil {
 			// Let the fallback path report the unknown table consistently.
 			return nil, false
 		}
 	}
-	var it batchIterator
-	if len(q.From) == 1 {
-		t, _ := c.eng.Cat.Table(q.From[0].Name)
-		cols := make([]colInfo, len(t.Schema.Cols))
-		for i, col := range t.Schema.Cols {
-			cols[i] = colInfo{table: q.From[0].RefName(), name: col.Name}
-		}
-		layout := &relation{cols: cols}
-		it = c.streamPipeline(q, t, layout, aliasMap(q), nil, 0, len(t.Rows), true)
-	} else {
-		// The build sides materialize here, before the first Next: their
-		// scan charges are part of time-to-first-batch, exactly as a real
-		// hash join cannot probe before its builds finish. A planning or
-		// build error falls back and surfaces identically from the
-		// materialized executor.
-		jit, _, err := c.joinStream(q, nil, true)
-		if err != nil {
+	grouped := c.isGrouped(q)
+	if len(q.OrderBy) > 0 {
+		// Full sorts fall back; ORDER BY … LIMIT over one table streams as
+		// top-N (the grouped and DISTINCT variants still need the
+		// materialized sort over their finished output).
+		if grouped || q.Distinct || q.Limit < 0 || len(q.From) != 1 {
 			return nil, false
 		}
-		it = jit
+		return c.topNStream(q), true
 	}
+	if grouped {
+		return c.groupedStream(q), true
+	}
+	return c.rowStream(q)
+}
+
+// newLimitedStream wraps a pipeline iterator in the public ResultStream,
+// applying the LIMIT countdown: the producer is closed — cancelling any
+// sharded workers — the moment enough rows have been emitted.
+func (c *execCtx) newLimitedStream(q *ast.Query, it batchIterator) *ResultStream {
 	remaining := q.Limit // < 0 = unlimited
 	var names []string
 	for _, ci := range projectionCols(q) {
@@ -180,7 +160,113 @@ func (c *execCtx) pipelinedStream(q *ast.Query) (*ResultStream, bool) {
 		}
 		return b, nil
 	}
-	return s, true
+	return s
+}
+
+// rowStream builds the non-grouped pipelined producer: scan → filter →
+// [probe… → residual →] project [→ distinct], sharded across Parallelism
+// workers through the shard-order merger when the input is large enough.
+// For a multi-table q the build sides materialize here, before the first
+// Next: their scan charges are part of time-to-first-batch, exactly as a
+// real hash join cannot probe before its builds finish. A planning or
+// build error falls back and surfaces identically from the materialized
+// executor.
+func (c *execCtx) rowStream(q *ast.Query) (*ResultStream, bool) {
+	var n int
+	var mkChain func(sc *execCtx, lo, hi int) batchIterator
+	if len(q.From) == 1 {
+		t, _ := c.eng.Cat.Table(q.From[0].Name)
+		layout := tableLayout(t, q.From[0].RefName())
+		aliases := aliasMap(q)
+		n = len(t.Rows)
+		mkChain = func(sc *execCtx, lo, hi int) batchIterator {
+			return sc.streamPipeline(q, t, layout, aliases, nil, lo, hi, true)
+		}
+	} else {
+		jp, err := c.prepareJoinStream(q, nil)
+		if err != nil {
+			return nil, false
+		}
+		n = len(jp.t0.Rows)
+		mkChain = func(sc *execCtx, lo, hi int) batchIterator {
+			return jp.chain(sc, nil, lo, hi, true)
+		}
+	}
+	var it batchIterator
+	if shards := c.shardCount(n); shards > 1 {
+		it = newShardedStream(c, mkChain, shardStreamBounds(n, shards, c.batch), q.Limit, q.Distinct)
+	} else {
+		it = mkChain(c, 0, n)
+		if q.Distinct {
+			it = &distinctIterator{in: it}
+		}
+	}
+	return c.newLimitedStream(q, it), true
+}
+
+// groupedStream builds the grouped-emission producer: the (sharded)
+// accumulation runs on the first pull, then the completed groups finalize
+// and emit in batches. DISTINCT over grouped output dedups the emitted
+// batches in-stream.
+func (c *execCtx) groupedStream(q *ast.Query) *ResultStream {
+	var it batchIterator = &lazyIterator{mk: func() (batchIterator, error) {
+		return c.accumulateGroupedStream(q)
+	}}
+	if q.Distinct {
+		it = &distinctIterator{in: it}
+	}
+	return c.newLimitedStream(q, it)
+}
+
+// accumulateGroupedStream runs grouped accumulation for q — the sharded
+// scan→filter[→probe…] stream folding into per-shard groupSets merged in
+// shard order — and returns the batch emitter over the finished groups.
+func (c *execCtx) accumulateGroupedStream(q *ast.Query) (batchIterator, error) {
+	specs := c.collectAggSpecs(q)
+	var groups *groupSet
+	var layout *relation
+	var err error
+	if len(q.From) == 1 {
+		t, _ := c.eng.Cat.Table(q.From[0].Name)
+		layout = tableLayout(t, q.From[0].RefName())
+		groups, err = c.streamGroups(specs, len(t.Rows), func(sc *execCtx, gs *groupSet, lo, hi int) error {
+			return sc.accumulateStream(q, specs, gs, layout, nil, lo, hi, t)
+		})
+	} else {
+		var jp *joinStreamPlan
+		jp, err = c.prepareJoinStream(q, nil)
+		if err != nil {
+			return nil, err
+		}
+		layout = jp.joined
+		groups, err = c.streamGroups(specs, len(jp.t0.Rows), func(sc *execCtx, gs *groupSet, lo, hi int) error {
+			return sc.accumulateJoinStream(q, specs, gs, jp, nil, lo, hi)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.newGroupEmitter(q, specs, groups, layout, nil)
+}
+
+// topNStream builds the ORDER BY … LIMIT producer: the sharded bounded-
+// heap collection of streamTopN runs on the first pull and the k winners
+// emit in batches.
+func (c *execCtx) topNStream(q *ast.Query) *ResultStream {
+	t, _ := c.eng.Cat.Table(q.From[0].Name)
+	layout := tableLayout(t, q.From[0].RefName())
+	size := c.batch
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	it := &lazyIterator{mk: func() (batchIterator, error) {
+		rel, err := c.streamTopN(q, t, layout, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &sliceIterator{rows: rel.rows, size: size}, nil
+	}}
+	return c.newLimitedStream(q, it)
 }
 
 // Cols returns the result's column names (available before any batch).

@@ -6,11 +6,19 @@ package server
 // streaming pipeline and frames each one onto the wire as it is produced —
 // the producer half of the paper's split execution turned into a pipeline
 // (Figure 1's "send encrypted intermediate results to the client" without
-// the wait). The simulated cost model charges accordingly: each batch
-// leaves the server at the simulated time its share of scan I/O, per-row
-// CPU, and crypto-UDF work completes, so TimeToFirstBatch is O(batch) for
-// pipeline-eligible queries while ServerTime remains time-to-last-batch —
-// for a drained stream, exactly the materialized Execute's charge.
+// the wait). The stream the server pulls may itself be produced by
+// Parallelism workers behind the engine's shard-order merger; nothing here
+// changes, because the engine folds each worker's charges into the
+// stream's statistics only as their batches are emitted — the Stats
+// snapshot taken after a batch is framed remains single-writer and
+// reflects exactly the work whose output has shipped. The simulated cost
+// model charges accordingly: each batch leaves the server at the simulated
+// time its share of scan I/O, per-row CPU, and crypto-UDF work completes,
+// so TimeToFirstBatch is O(batch) for pipeline-eligible queries — now
+// including streamed DISTINCT (seen-set emission) and grouped queries
+// (batch-at-a-time group finalization after accumulation) — while
+// ServerTime remains time-to-last-batch: for a drained stream, exactly
+// the materialized Execute's charge at every parallelism level.
 
 import (
 	"io"

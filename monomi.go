@@ -58,10 +58,11 @@
 // the probe side of their joins: build sides materialize into partitioned
 // hash tables (sharded by key hash, no global lock) and the first table's
 // scan flows through the probe chain batch-at-a-time, so the join output
-// is never materialized whole. DISTINCT, post-join ORDER BY, and
-// subqueries fall back to the materialized operators (ORDER BY and
-// DISTINCT still stream the scan→filter front; ORDER BY with LIMIT runs a
-// streamed bounded-heap top-N). Results are byte-identical to materialized
+// is never materialized whole. DISTINCT streams through a
+// first-occurrence seen-set (per-shard pre-dedup when sharded). Full
+// ORDER BY sorts and subqueries fall back to the materialized operators
+// (ORDER BY still streams the scan→filter front; ORDER BY with LIMIT runs
+// a streamed bounded-heap top-N). Results are byte-identical to materialized
 // execution at every ⟨BatchSize, Parallelism⟩ combination, with the same
 // float SUM/AVG last-ULP caveat above — it comes from sharding, not from
 // batching. 0 (the default) keeps the materialized executor; the knob can
@@ -78,7 +79,12 @@
 // workers share them without serializing. Multi-table RemoteSQL pipelines
 // the same way: the server hash-joins the encrypted tables (shared-key
 // DET join groups) and ships joined batches mid-probe, so join-heavy
-// queries see their first plaintext row after build + one batch. Results are byte-identical to
+// queries see their first plaintext row after build + one batch. The
+// server-side stream is itself produced by Parallelism workers (disjoint
+// row ranges feeding a shard-order merger, byte-identical to a sequential
+// stream), grouped queries ship finalized groups batch-at-a-time once
+// accumulation ends, and DISTINCT ships first occurrences as the scan
+// discovers them. Results are byte-identical to
 // the materialized wire; what changes is latency shape — the first
 // plaintext row is available after one batch instead of after the whole
 // scan (Rows.TimeToFirstRow) — and peak client memory, since encrypted
