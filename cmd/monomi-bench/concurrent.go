@@ -1,0 +1,132 @@
+package main
+
+// The concurrent scenario (-exp concurrent) measures the multi-client
+// server over real loopback TCP: one served deployment, N remote trusted
+// clients issuing a mix of query shapes concurrently, reporting throughput
+// and wall-clock latency percentiles per client count. This is the
+// experiment the transport layer exists for — in-process execution can
+// only ever serve one trusted library at a time; a served deployment
+// multiplexes sessions onto the shared engine under admission control.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	monomi "repro"
+)
+
+// concurrentScenario builds ev(e_id, e_grp, e_val) with `rows` rows,
+// serves it on loopback, and sweeps client counts up to maxClients.
+func concurrentScenario(rows, maxClients, par, batch int) error {
+	if batch <= 0 {
+		batch = 64
+	}
+	if maxClients <= 0 {
+		maxClients = 8
+	}
+	fmt.Fprintf(os.Stderr, "concurrent scenario: encrypting %d rows (batch %d, parallelism %d)...\n",
+		rows, batch, par)
+	db := monomi.NewDatabase()
+	db.MustCreateTable("ev",
+		monomi.Col("e_id", monomi.Int), monomi.Col("e_grp", monomi.Int), monomi.Col("e_val", monomi.Int))
+	for i := 0; i < rows; i++ {
+		db.MustInsert("ev", i, i%200, i%1000)
+	}
+	shapes := []string{
+		`SELECT e_id, e_val FROM ev WHERE e_val >= 900`,
+		`SELECT e_grp, SUM(e_val), COUNT(*) FROM ev GROUP BY e_grp`,
+		`SELECT DISTINCT e_grp FROM ev`,
+	}
+	opts := monomi.DefaultOptions()
+	opts.PaillierBits = 256
+	opts.SpaceBudget = 0
+	opts.Parallelism = par
+	opts.BatchSize = batch
+	opts.StreamWire = true
+	workload := monomi.Workload{}
+	for i, q := range shapes {
+		workload[fmt.Sprintf("q%d", i)] = q
+	}
+	sys, err := monomi.Encrypt(db, workload, opts)
+	if err != nil {
+		return err
+	}
+	srv, err := sys.Serve("127.0.0.1:0", monomi.ServeConfig{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	// Warm plans and decrypt caches once through the wire.
+	warm, err := sys.ConnectRemote(addr)
+	if err != nil {
+		return err
+	}
+	for _, q := range shapes {
+		if _, err := warm.Query(q); err != nil {
+			warm.Close()
+			return err
+		}
+	}
+	warm.Close()
+
+	const queriesPerClient = 12
+	fmt.Printf("%-8s %10s %12s %12s %12s\n", "clients", "queries", "qps", "p50(ms)", "p99(ms)")
+	for n := 1; n <= maxClients; n *= 2 {
+		qps, p50, p99, err := runConcurrent(sys, addr, shapes, n, queriesPerClient)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %10d %12.1f %12.2f %12.2f\n",
+			n, n*queriesPerClient, qps, p50, p99)
+	}
+	return nil
+}
+
+// runConcurrent drives n remote clients issuing perClient queries each and
+// returns throughput plus wall-latency percentiles in milliseconds.
+func runConcurrent(sys *monomi.System, addr string, shapes []string, n, perClient int) (qps, p50, p99 float64, err error) {
+	clients := make([]*monomi.System, n)
+	for i := range clients {
+		clients[i], err = sys.ConnectRemote(addr)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer clients[i].Close()
+	}
+	latencies := make([]time.Duration, n*perClient)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(id int, c *monomi.System) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				q := shapes[(id+r)%len(shapes)]
+				t0 := time.Now()
+				if _, qerr := c.Query(q); qerr != nil {
+					errs <- fmt.Errorf("client %d: %w", id, qerr)
+					return
+				}
+				latencies[id*perClient+r] = time.Since(t0)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for e := range errs {
+		return 0, 0, 0, e
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx].Microseconds()) / 1000
+	}
+	return float64(n*perClient) / elapsed.Seconds(), pct(0.50), pct(0.99), nil
+}

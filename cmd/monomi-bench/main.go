@@ -12,6 +12,7 @@
 //	monomi-bench -exp table3          # Table 3: security census
 //	monomi-bench -exp join            # streamed hash-join probe scenario
 //	monomi-bench -exp stream          # grouped + DISTINCT streamed-wire scenario
+//	monomi-bench -exp concurrent      # multi-client served deployment over loopback TCP
 //	monomi-bench -exp all
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|concurrent|all")
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	bits := flag.Int("paillier", 512, "Paillier modulus bits (paper: 1024)")
@@ -36,6 +37,8 @@ func main() {
 	stream := flag.Bool("streamwire", false, "stream encrypted result batches to the client mid-scan (suite experiments)")
 	joinRows := flag.Int("joinrows", 50000, "probe-side rows for the join scenario (-exp join)")
 	streamRows := flag.Int("streamrows", 60000, "input rows for the grouped+DISTINCT streamed-wire scenario (-exp stream)")
+	clients := flag.Int("clients", 8, "maximum concurrent remote clients for the served-deployment scenario (-exp concurrent)")
+	concRows := flag.Int("concrows", 20000, "input rows for the served-deployment scenario (-exp concurrent)")
 	flag.Parse()
 
 	scale := tpch.ScaleFactor(*sf)
@@ -104,6 +107,10 @@ func main() {
 			}
 		case "stream":
 			if err := streamScenario(*streamRows, *par, *batch); err != nil {
+				log.Fatal(err)
+			}
+		case "concurrent":
+			if err := concurrentScenario(*concRows, *clients, *par, *batch); err != nil {
 				log.Fatal(err)
 			}
 		default:

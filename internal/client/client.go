@@ -9,6 +9,7 @@ package client
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/ast"
@@ -24,12 +25,25 @@ import (
 	"repro/internal/wire"
 )
 
+// Executor is where RemoteSQL runs: the in-process *server.Server, or a
+// transport connection dialed to a remote monomi-server (which speaks the
+// same two calls over the socket). The client is agnostic — it plans,
+// ships RemoteSQL to whichever executor it holds, and decrypts what comes
+// back; the streamed call writes the identical framed batch protocol to w
+// in both deployments.
+type Executor interface {
+	Execute(q *ast.Query, params map[string]value.Value) (*server.Response, error)
+	ExecuteStream(q *ast.Query, params map[string]value.Value, w io.Writer) (*server.StreamStats, error)
+}
+
 // Client is a connection to one encrypted database.
 type Client struct {
 	Keys *enc.KeyStore
-	Srv  *server.Server
-	Ctx  *planner.Context
-	Cfg  netsim.Config
+	// Srv is the in-process server when the deployment is in-process
+	// (nil in remote mode — use the Executor and Meta instead).
+	Srv *server.Server
+	Ctx *planner.Context
+	Cfg netsim.Config
 	// Greedy disables the cost-based planner: every query uses the greedy
 	// plan that pushes all available computation to the server (the
 	// Execution-Greedy configuration of §8.3).
@@ -49,19 +63,48 @@ type Client struct {
 	// materialized wire, but the first plaintext row exists long before the
 	// server's scan completes (Result.TimeToFirstRow).
 	StreamWire bool
+	exec       Executor
+	meta       map[string]*enc.TableMeta
 	cache      *decryptCache
 	packCache  *packing.PlainCache
 }
 
-// New creates a client. ctx must be built over the plaintext schema with
-// the same design the server's database was encrypted under.
+// New creates a client over an in-process server. ctx must be built over
+// the plaintext schema with the same design the server's database was
+// encrypted under.
 func New(keys *enc.KeyStore, srv *server.Server, ctx *planner.Context, cfg netsim.Config) *Client {
 	return &Client{
 		Keys: keys, Srv: srv, Ctx: ctx, Cfg: cfg,
+		exec:      srv,
+		meta:      srv.DB.Meta,
 		cache:     newDecryptCache(512),
 		packCache: packing.NewPlainCache(),
 	}
 }
+
+// NewRemote creates a client whose RemoteSQL runs on a remote server
+// through exec (a dialed transport connection). meta is the encrypted
+// design's per-table metadata — a trusted-side artifact of the Encrypt
+// run, which the remote deployment re-derives from the same master key,
+// schema, and workload; the client needs it to resolve Paillier
+// ciphertext-group names and pack layouts. Everything else — planning,
+// decryption, residual execution — is identical to the in-process client.
+func NewRemote(keys *enc.KeyStore, exec Executor, meta map[string]*enc.TableMeta, ctx *planner.Context, cfg netsim.Config) *Client {
+	return &Client{
+		Keys: keys, Ctx: ctx, Cfg: cfg,
+		exec:      exec,
+		meta:      meta,
+		cache:     newDecryptCache(512),
+		packCache: packing.NewPlainCache(),
+	}
+}
+
+// SetExecutor redirects RemoteSQL execution (tests use it to interpose
+// frame recorders; ConnectRemote-style deployments use NewRemote instead).
+func (c *Client) SetExecutor(e Executor) { c.exec = e }
+
+// Executor returns the client's current RemoteSQL executor.
+func (c *Client) Executor() Executor { return c.exec }
 
 // Result is a fully executed query result with its simulated timings.
 type Result struct {
@@ -212,7 +255,7 @@ func (c *Client) runRemote(part *planner.RemotePart, cat *storage.Catalog, res *
 		return c.runRemoteStreamed(part, cat, res)
 	}
 	q := c.resolveHomGroups(part.Query)
-	resp, err := c.Srv.Execute(q, nil)
+	resp, err := c.exec.Execute(q, nil)
 	if err != nil {
 		return fmt.Errorf("client: remote %s: %w", part.Name, err)
 	}
@@ -331,7 +374,7 @@ func (c *Client) decodeHomSum(o *planner.Output, v value.Value, res *Result) (va
 	if v.IsNull() {
 		return value.NewNull(), nil
 	}
-	meta, ok := c.Srv.DB.Meta[o.HomTable]
+	meta, ok := c.meta[o.HomTable]
 	if !ok {
 		return value.Value{}, fmt.Errorf("no encrypted table metadata for %s", o.HomTable)
 	}
@@ -383,7 +426,7 @@ func (c *Client) resolveHomGroups(q *ast.Query) *ast.Query {
 			if !ok {
 				return nil
 			}
-			meta, ok := c.Srv.DB.Meta[table]
+			meta, ok := c.meta[table]
 			if !ok {
 				return nil
 			}

@@ -77,7 +77,7 @@ func (c *Client) runRemoteStreamed(part *planner.RemotePart, cat *storage.Catalo
 	srvDone := make(chan struct{})
 	go func() {
 		defer close(srvDone)
-		sstats, srvErr = c.Srv.ExecuteStream(q, nil, pw)
+		sstats, srvErr = c.exec.ExecuteStream(q, nil, pw)
 		pw.CloseWithError(srvErr) // nil = clean EOF after the end frame
 	}()
 

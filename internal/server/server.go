@@ -103,8 +103,11 @@ func (s *Server) parallelism() int {
 // Response carries an executed RemoteSQL result plus its simulated timings.
 type Response struct {
 	Result     *engine.Result
-	ServerTime time.Duration // simulated scan I/O + CPU + measured UDF time
-	WireBytes  int64         // result size on the wire
+	ServerTime time.Duration // simulated scan I/O + CPU + measured UDF time (serial charge)
+	// WallServerTime is the wall-clock counterpart: CPU components divided
+	// across min(Parallelism, netsim cores), scan I/O serial (shared disk).
+	WallServerTime time.Duration
+	WireBytes      int64 // result size on the wire
 }
 
 // Execute runs one RemoteSQL query over the encrypted data.
@@ -113,14 +116,11 @@ func (s *Server) Execute(q *ast.Query, params map[string]value.Value) (*Response
 	if err != nil {
 		return nil, err
 	}
-	st := res.Stats
-	serverTime := s.Cfg.ScanTime(st.BytesScanned+st.ExtraBytes) +
-		s.Cfg.RowTime(st.RowsScanned) +
-		time.Duration(st.UDFNanos)
 	return &Response{
-		Result:     res,
-		ServerTime: serverTime,
-		WireBytes:  res.Bytes(),
+		Result:         res,
+		ServerTime:     s.simulatedTime(res.Stats),
+		WallServerTime: s.simulatedWallTime(res.Stats),
+		WireBytes:      res.Bytes(),
 	}, nil
 }
 

@@ -21,6 +21,7 @@ package server
 // the materialized Execute's charge at every parallelism level.
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -41,8 +42,14 @@ type StreamStats struct {
 	// ServerTime is time-to-last-batch: the simulated scan I/O + per-row
 	// CPU + measured crypto-UDF time of the work performed (for a drained
 	// stream, identical to Execute's ServerTime for the same query; for an
-	// abandoned stream, only what was actually scanned).
+	// abandoned stream, only what was actually scanned). The charge is
+	// serial: per-shard work sums, it never overlaps in the accounting.
 	ServerTime time.Duration
+	// WallServerTime is the wall-clock counterpart of ServerTime: scan I/O
+	// stays serial (the disk array is shared) but the CPU components divide
+	// across min(Parallelism, netsim cores) — the time a multi-core
+	// deployment's clock actually shows (netsim.Config.WallTime).
+	WallServerTime time.Duration
 	// FirstFrameBytes is the wire size of the header plus the first batch
 	// frame (what must cross the link before the client can start
 	// decrypting).
@@ -62,19 +69,35 @@ type StreamStats struct {
 // StreamStats is valid in all three cases and reflects the work actually
 // performed.
 func (s *Server) ExecuteStream(q *ast.Query, params map[string]value.Value, w io.Writer) (*StreamStats, error) {
+	return s.ExecuteStreamCtx(context.Background(), q, params, w)
+}
+
+// ExecuteStreamCtx is ExecuteStream with per-query cancellation: ctx is
+// checked between batches, so cancelling it aborts the scan at the next
+// batch boundary (the engine's Close cancels and joins any sharded
+// producers) and returns ctx's error with the stats of the work actually
+// performed. The transport's session layer drives every query through
+// this entry point, wiring the protocol's cancel frame to ctx.
+func (s *Server) ExecuteStreamCtx(ctx context.Context, q *ast.Query, params map[string]value.Value, w io.Writer) (*StreamStats, error) {
 	st := &StreamStats{}
 	es, err := s.Engine.ExecuteStream(q, params)
 	if err != nil {
 		return st, err
 	}
 	defer es.Close()
-	defer func() { st.ServerTime = s.simulatedTime(es.Stats()) }()
+	defer func() {
+		st.ServerTime = s.simulatedTime(es.Stats())
+		st.WallServerTime = s.simulatedWallTime(es.Stats())
+	}()
 	bw, err := wire.NewBatchWriter(w, es.Cols())
 	if err != nil {
 		return st, err
 	}
 	defer func() { st.WireBytes = bw.BytesWritten() }()
 	for {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		rows, err := es.Next()
 		if err != nil {
 			return st, err
@@ -110,4 +133,14 @@ func (s *Server) simulatedTime(stats engine.Stats) time.Duration {
 	return s.Cfg.ScanTime(stats.BytesScanned+stats.ExtraBytes) +
 		s.Cfg.RowTime(stats.RowsScanned) +
 		time.Duration(stats.UDFNanos)
+}
+
+// simulatedWallTime is simulatedTime with the CPU components divided
+// across the server's workers (netsim.Config.WallTime): scan I/O stays
+// serial — the disk array's throughput is shared — while per-row CPU and
+// measured UDF time parallelize up to the simulated core count.
+func (s *Server) simulatedWallTime(stats engine.Stats) time.Duration {
+	cpu := s.Cfg.RowTime(stats.RowsScanned) + time.Duration(stats.UDFNanos)
+	return s.Cfg.ScanTime(stats.BytesScanned+stats.ExtraBytes) +
+		s.Cfg.WallTime(cpu, s.parallelism())
 }

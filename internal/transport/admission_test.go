@@ -1,0 +1,203 @@
+package transport
+
+// Admission-control behaviour: the connection cap rejects the (C+1)th
+// client with a clean frame, the in-flight query cap fail-fasts or waits
+// per QueryWait, and nothing deadlocks at the caps (run with -race).
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/sqlparser"
+)
+
+func TestConnCap(t *testing.T) {
+	backend := testBackend(t, 50)
+	s := startServer(t, backend, Config{MaxConns: 2})
+
+	c1 := dialTest(t, s)
+	c2 := dialTest(t, s)
+
+	// The third connection is rejected with a typed frame, not a hang or
+	// a bare reset.
+	_, err := Dial(s.Addr().String())
+	if err == nil {
+		t.Fatal("dial beyond the connection cap succeeded")
+	}
+	if !IsRejected(err) {
+		t.Fatalf("over-cap dial failed with %v, want an admission rejection", err)
+	}
+	if re, ok := err.(*RejectError); ok && re.Code != CodeConnRejected {
+		t.Fatalf("over-cap dial code = %v, want CodeConnRejected", re.Code)
+	}
+	if got := s.Stats().RejectedConns; got != 1 {
+		t.Fatalf("RejectedConns = %d, want 1", got)
+	}
+
+	// Admitted sessions are unaffected.
+	var buf bytes.Buffer
+	if _, err := c1.ExecuteStream(sqlparser.MustParse(`SELECT k FROM t`), nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closing a session frees its slot; a retry gets in (teardown is
+	// asynchronous, so poll).
+	c2.Close()
+	var c3 *Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var derr error
+		c3, derr = Dial(s.Addr().String())
+		if derr == nil {
+			break
+		}
+		if !IsRejected(derr) {
+			t.Fatal(derr)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after closing a session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer c3.Close()
+	buf.Reset()
+	if _, err := c3.ExecuteStream(sqlparser.MustParse(`SELECT v FROM t`), nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInFlightCapFailFast(t *testing.T) {
+	backend := testBackend(t, 300)
+	release := gateUDF(backend, 0) // every call blocks until released
+	defer release()
+	s := startServer(t, backend, Config{MaxInFlight: 1, QueryWait: 0})
+
+	c1 := dialTest(t, s)
+	c2 := dialTest(t, s)
+
+	// c1 occupies the only slot, wedged inside the gate UDF.
+	done := make(chan error, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, err := c1.ExecuteStream(sqlparser.MustParse(`SELECT gate(v) FROM t WHERE v < 10`), nil, &buf)
+		done <- err
+	}()
+	waitInFlight(t, s, 1)
+
+	// c2 is rejected immediately: QueryWait 0 means fail fast.
+	var buf bytes.Buffer
+	_, err := c2.ExecuteStream(sqlparser.MustParse(`SELECT k FROM t`), nil, &buf)
+	if !IsRejected(err) {
+		t.Fatalf("saturated query failed with %v, want an admission rejection", err)
+	}
+	if re := err.(*RejectError); re.Code != CodeQueryRejected {
+		t.Fatalf("code = %v, want CodeQueryRejected", re.Code)
+	}
+	if got := s.Stats().RejectedQs; got != 1 {
+		t.Fatalf("RejectedQs = %d, want 1", got)
+	}
+	ss, _ := s.SessionStats(c2.SessionID())
+	if ss.Rejected != 1 {
+		t.Fatalf("session Rejected = %d, want 1", ss.Rejected)
+	}
+
+	// Releasing the gate lets c1 finish; the slot frees and c2's retry
+	// succeeds.
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("slot holder failed: %v", err)
+	}
+	buf.Reset()
+	if _, err := c2.ExecuteStream(sqlparser.MustParse(`SELECT k FROM t`), nil, &buf); err != nil {
+		t.Fatalf("query after slot freed: %v", err)
+	}
+}
+
+func TestInFlightCapQueryWait(t *testing.T) {
+	backend := testBackend(t, 300)
+	release := gateUDF(backend, 0)
+	defer release()
+	s := startServer(t, backend, Config{MaxInFlight: 1, QueryWait: 30 * time.Second})
+
+	c1 := dialTest(t, s)
+	c2 := dialTest(t, s)
+
+	hold := make(chan error, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, err := c1.ExecuteStream(sqlparser.MustParse(`SELECT gate(v) FROM t WHERE v < 10`), nil, &buf)
+		hold <- err
+	}()
+	waitInFlight(t, s, 1)
+
+	// c2's query queues behind the cap instead of failing.
+	waiting := make(chan error, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, err := c2.ExecuteStream(sqlparser.MustParse(`SELECT k FROM t`), nil, &buf)
+		waiting <- err
+	}()
+	select {
+	case err := <-waiting:
+		t.Fatalf("waiting query returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Slot frees → the waiter proceeds; no deadlock at the cap.
+	release()
+	if err := <-hold; err != nil {
+		t.Fatalf("slot holder failed: %v", err)
+	}
+	select {
+	case err := <-waiting:
+		if err != nil {
+			t.Fatalf("waiting query failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiting query never proceeded after the slot freed")
+	}
+	if got := s.Stats().RejectedQs; got != 0 {
+		t.Fatalf("RejectedQs = %d, want 0 (the waiter should have been admitted)", got)
+	}
+}
+
+// TestQueryWaitTimeout: a bounded wait that elapses still rejects cleanly.
+func TestQueryWaitTimeout(t *testing.T) {
+	backend := testBackend(t, 300)
+	release := gateUDF(backend, 0)
+	defer release()
+	s := startServer(t, backend, Config{MaxInFlight: 1, QueryWait: 30 * time.Millisecond})
+
+	c1 := dialTest(t, s)
+	c2 := dialTest(t, s)
+	hold := make(chan error, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, err := c1.ExecuteStream(sqlparser.MustParse(`SELECT gate(v) FROM t WHERE v < 10`), nil, &buf)
+		hold <- err
+	}()
+	waitInFlight(t, s, 1)
+
+	var buf bytes.Buffer
+	_, err := c2.ExecuteStream(sqlparser.MustParse(`SELECT k FROM t`), nil, &buf)
+	if !IsRejected(err) {
+		t.Fatalf("timed-out wait failed with %v, want an admission rejection", err)
+	}
+	release()
+	if err := <-hold; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitInFlight polls until n queries hold in-flight slots.
+func waitInFlight(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.inflight) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d in-flight queries", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

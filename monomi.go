@@ -91,9 +91,33 @@
 // batches are dropped as soon as they are decrypted instead of the whole
 // intermediate result being held alongside the decoded table. Toggle later
 // with System.SetStreamWire.
+//
+// # Remote deployment
+//
+// The split can run over a real network instead of in-process:
+// System.Serve exposes the untrusted server half on a TCP (optionally TLS)
+// address — many concurrent client sessions, per-query cancellation, and
+// admission control (connection cap, in-flight query cap) — and
+// System.ConnectRemote dials it, returning a System whose queries plan and
+// decrypt locally but execute their RemoteSQL over the socket. The wire
+// carries exactly the in-process stream bytes (the internal/wire batch
+// framing, chunked into transport frames), so results, row order, and
+// encodings are identical to the in-process path in every mode. The
+// cmd/monomi-server binary is a standalone deployment of Serve:
+//
+//	monomi-server -addr :7077 -sf 0.002            # untrusted host
+//	sys, _ := monomi.Encrypt(db, workload, opts)   # trusted host (same
+//	remote, _ := sys.ConnectRemote("server:7077")  # key/schema/workload)
+//	rows, _ := remote.Query("SELECT ...")
+//	defer remote.Close()
+//
+// Both sides must be built from the same master key, schema, and workload:
+// the encrypted design is deterministic, so the trusted side re-derives
+// the keys and metadata the remote data was encrypted under.
 package monomi
 
 import (
+	"crypto/tls"
 	"fmt"
 
 	"repro/internal/client"
@@ -105,6 +129,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/tpch"
+	"repro/internal/transport"
 	"repro/internal/value"
 )
 
@@ -275,6 +300,9 @@ type System struct {
 	client *client.Client
 	plain  *engine.Engine
 	net    netsim.Config
+	// conn is the dialed transport session when this System came from
+	// ConnectRemote (nil for in-process deployments).
+	conn *transport.Conn
 }
 
 // Encrypt runs the designer over the workload, encrypts the database, and
@@ -334,9 +362,12 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 // SetParallelism changes the worker count for sharded execution on the
 // server, the client's local operators, and the plaintext baseline engine
 // (see Options.Parallelism). It must not be called while queries are in
-// flight.
+// flight. On a remote System (ConnectRemote) only the client-side knob
+// moves — the remote server's parallelism is fixed by its own flags.
 func (s *System) SetParallelism(p int) {
-	s.client.Srv.SetParallelism(p)
+	if s.client.Srv != nil {
+		s.client.Srv.SetParallelism(p)
+	}
 	s.client.Parallelism = p
 	s.plain.Parallelism = p
 }
@@ -344,9 +375,12 @@ func (s *System) SetParallelism(p int) {
 // SetBatchSize changes the streamed-execution batch size on the server,
 // the client's local operators, and the plaintext baseline engine (see
 // Options.BatchSize; 0 = materialized). It must not be called while
-// queries are in flight.
+// queries are in flight. On a remote System only the client-side knob
+// moves — the remote server's batch size is fixed by its own flags.
 func (s *System) SetBatchSize(b int) {
-	s.client.Srv.SetBatchSize(b)
+	if s.client.Srv != nil {
+		s.client.Srv.SetBatchSize(b)
+	}
 	s.client.BatchSize = b
 	s.plain.BatchSize = b
 }
@@ -357,6 +391,79 @@ func (s *System) SetBatchSize(b int) {
 func (s *System) SetStreamWire(on bool) {
 	s.client.StreamWire = on
 }
+
+// ServeConfig tunes a network deployment of the untrusted server: MaxConns
+// caps concurrent sessions (the C+1th connection is rejected with a typed
+// frame), MaxInFlight caps globally concurrent query executions, QueryWait
+// bounds how long a query waits for an in-flight slot (0 = fail fast),
+// and TLS wraps accepted connections when set.
+type ServeConfig = transport.Config
+
+// Server is a running network endpoint for a System's untrusted half; see
+// its Close, Addr, Stats, and SessionStats methods.
+type Server = transport.Server
+
+// Serve exposes this System's untrusted server on a TCP address (use
+// ":0" for an ephemeral port; Addr reports it). The returned Server runs
+// until Close. The trusted material — keys, design, planner — never
+// crosses this boundary: sessions execute RemoteSQL over ciphertexts and
+// stream encrypted batches back, exactly as the in-process path does.
+func (s *System) Serve(addr string, cfg ServeConfig) (*Server, error) {
+	if s.client.Srv == nil {
+		return nil, fmt.Errorf("monomi: this System is itself a remote connection; Serve needs the deployment that holds the data")
+	}
+	return transport.Listen(s.client.Srv, addr, cfg)
+}
+
+// ConnectRemote dials a monomi-server and returns a System whose queries
+// execute their RemoteSQL over the socket. Planning, decryption, and
+// residual local execution stay on this (trusted) side; the remote server
+// must host a database encrypted under the same master key, schema, and
+// workload — which is what this System was built from, so its keys and
+// design metadata carry over. Close the returned System when done.
+func (s *System) ConnectRemote(addr string) (*System, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.remoteSystem(conn), nil
+}
+
+// ConnectRemoteTLS is ConnectRemote over TLS; cfg must trust the server's
+// certificate.
+func (s *System) ConnectRemoteTLS(addr string, cfg *tls.Config) (*System, error) {
+	conn, err := transport.DialTLS(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.remoteSystem(conn), nil
+}
+
+func (s *System) remoteSystem(conn *transport.Conn) *System {
+	cl := client.NewRemote(s.keys, conn, s.encDB.Meta, s.client.Ctx, s.net)
+	cl.Greedy = s.client.Greedy
+	cl.Parallelism = s.client.Parallelism
+	cl.BatchSize = s.client.BatchSize
+	cl.StreamWire = s.client.StreamWire
+	return &System{
+		db: s.db, keys: s.keys, design: s.design, encDB: s.encDB,
+		client: cl, plain: s.plain, net: s.net, conn: conn,
+	}
+}
+
+// Close releases the System's network session, if any. In-process
+// deployments have nothing to close.
+func (s *System) Close() error {
+	if s.conn != nil {
+		return s.conn.Close()
+	}
+	return nil
+}
+
+// IsRejected reports whether err is a server admission-control rejection
+// (connection cap or in-flight query cap) — retryable, unlike a query
+// error.
+func IsRejected(err error) bool { return transport.IsRejected(err) }
 
 // Rows is a plaintext query result.
 type Rows struct {
