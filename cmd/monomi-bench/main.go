@@ -13,6 +13,7 @@
 //	monomi-bench -exp join            # streamed hash-join probe scenario
 //	monomi-bench -exp stream          # grouped + DISTINCT streamed-wire scenario
 //	monomi-bench -exp concurrent      # multi-client served deployment over loopback TCP
+//	monomi-bench -exp repeat          # warm-vs-cold repeated-query hot path
 //	monomi-bench -exp all
 package main
 
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|concurrent|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|concurrent|repeat|all")
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	bits := flag.Int("paillier", 512, "Paillier modulus bits (paper: 1024)")
@@ -39,6 +40,9 @@ func main() {
 	streamRows := flag.Int("streamrows", 60000, "input rows for the grouped+DISTINCT streamed-wire scenario (-exp stream)")
 	clients := flag.Int("clients", 8, "maximum concurrent remote clients for the served-deployment scenario (-exp concurrent)")
 	concRows := flag.Int("concrows", 20000, "input rows for the served-deployment scenario (-exp concurrent)")
+	repeatRows := flag.Int("repeatrows", 20000, "input rows for the repeated-query scenario (-exp repeat)")
+	repeatIters := flag.Int("repeatiters", 30, "timed executions per mode for the repeated-query scenario (-exp repeat)")
+	repeatPool := flag.Bool("paillierpool", true, "precompute Paillier randomness in a background pool (-exp repeat)")
 	flag.Parse()
 
 	scale := tpch.ScaleFactor(*sf)
@@ -111,6 +115,10 @@ func main() {
 			}
 		case "concurrent":
 			if err := concurrentScenario(*concRows, *clients, *par, *batch); err != nil {
+				log.Fatal(err)
+			}
+		case "repeat":
+			if err := repeatScenario(*repeatRows, *repeatIters, *par, *batch, *repeatPool); err != nil {
 				log.Fatal(err)
 			}
 		default:

@@ -1,0 +1,190 @@
+package main
+
+// The repeat scenario (-exp repeat) measures the repeated-query hot path:
+// the same parameterized shapes executed over and over with different
+// values, cold (plan cache reset before every execution, so each one pays
+// parse + prepare + rewrite + costing) versus warm (plan cached after the
+// first execution, later ones only re-encrypt parameters — and, over the
+// wire, re-execute a server-side prepared statement by id instead of
+// re-shipping SQL). Reported per mode: throughput, wall-clock latency
+// percentiles, and the plan-cache hit rate observed during the sweep.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	monomi "repro"
+)
+
+// repeatShape is one parameterized query plus a generator for its i-th
+// parameter binding.
+type repeatShape struct {
+	name   string
+	sql    string
+	params func(i int) map[string]any
+}
+
+// repeatScenario builds ev(e_id, e_grp, e_val) with `rows` rows and sweeps
+// cold/warm × in-process/wire over parameterized shapes.
+func repeatScenario(rows, iters, par, batch int, pool bool) error {
+	if batch < 0 {
+		batch = 0
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	fmt.Fprintf(os.Stderr, "repeat scenario: encrypting %d rows (batch %d, parallelism %d, paillier pool %v)...\n",
+		rows, batch, par, pool)
+	db := monomi.NewDatabase()
+	db.MustCreateTable("ev",
+		monomi.Col("e_id", monomi.Int), monomi.Col("e_grp", monomi.Int), monomi.Col("e_val", monomi.Int))
+	for i := 0; i < rows; i++ {
+		db.MustInsert("ev", i, i%200, i%1000)
+	}
+	shapes := []repeatShape{
+		{
+			name: "point",
+			sql:  `SELECT e_id, e_val FROM ev WHERE e_id = :id`,
+			params: func(i int) map[string]any {
+				return map[string]any{"id": (i * 37) % rows}
+			},
+		},
+		{
+			name: "filter",
+			sql:  `SELECT e_id, e_val FROM ev WHERE e_val >= :lo`,
+			params: func(i int) map[string]any {
+				return map[string]any{"lo": 850 + i%100}
+			},
+		},
+		{
+			name: "groupsum",
+			sql:  `SELECT e_grp, SUM(e_val), COUNT(*) FROM ev WHERE e_val < :hi GROUP BY e_grp`,
+			params: func(i int) map[string]any {
+				return map[string]any{"hi": 400 + i%200}
+			},
+		},
+	}
+	opts := monomi.DefaultOptions()
+	opts.PaillierBits = 256
+	opts.SpaceBudget = 0
+	opts.Parallelism = par
+	opts.BatchSize = batch
+	opts.PaillierPool = pool
+	workload := monomi.Workload{}
+	for _, sh := range shapes {
+		// The designer sees the shape with a representative literal bound in.
+		r, err := sh.paramsBound(0)
+		if err != nil {
+			return err
+		}
+		workload[sh.name] = r
+	}
+	sys, err := monomi.Encrypt(db, workload, opts)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	srv, err := sys.Serve("127.0.0.1:0", monomi.ServeConfig{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	remote, err := sys.ConnectRemote(srv.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer remote.Close()
+
+	fmt.Printf("%-10s %-10s %-6s %10s %12s %12s %10s\n",
+		"shape", "deploy", "path", "qps", "p50(ms)", "p99(ms)", "hit-rate")
+	for _, sh := range shapes {
+		for _, d := range []struct {
+			name string
+			sys  *monomi.System
+		}{{"inproc", sys}, {"wire", remote}} {
+			cold, err := runRepeat(d.sys, sh, iters, true)
+			if err != nil {
+				return err
+			}
+			warm, err := runRepeat(d.sys, sh, iters, false)
+			if err != nil {
+				return err
+			}
+			for _, r := range []struct {
+				path string
+				m    repeatMeasure
+			}{{"cold", cold}, {"warm", warm}} {
+				fmt.Printf("%-10s %-10s %-6s %10.1f %12.2f %12.2f %9.0f%%\n",
+					sh.name, d.name, r.path, r.m.qps, r.m.p50, r.m.p99, r.m.hitRate*100)
+			}
+		}
+	}
+	return nil
+}
+
+// paramsBound substitutes the i-th parameter binding into the shape's SQL
+// textually (for the designer workload, which takes plain SQL).
+func (sh repeatShape) paramsBound(i int) (string, error) {
+	sql := sh.sql
+	for name, v := range sh.params(i) {
+		sql = strings.ReplaceAll(sql, ":"+name, fmt.Sprint(v))
+	}
+	return sql, nil
+}
+
+type repeatMeasure struct {
+	qps, p50, p99 float64
+	hitRate       float64
+}
+
+// runRepeat executes the shape iters times with varying parameters. cold
+// resets the plan cache before every execution; warm runs one untimed
+// priming execution first so every timed one can hit the cache.
+func runRepeat(sys *monomi.System, sh repeatShape, iters int, cold bool) (repeatMeasure, error) {
+	stmt, err := sys.Prepare(sh.sql)
+	if err != nil {
+		return repeatMeasure{}, err
+	}
+	defer stmt.Close()
+	if cold {
+		sys.ResetPlanCache()
+	} else {
+		if _, err := stmt.Query(sh.params(0)); err != nil {
+			return repeatMeasure{}, err
+		}
+	}
+	before := sys.PlanCacheStats()
+	latencies := make([]time.Duration, iters)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if cold {
+			sys.ResetPlanCache()
+		}
+		t0 := time.Now()
+		if _, err := stmt.Query(sh.params(i)); err != nil {
+			return repeatMeasure{}, err
+		}
+		latencies[i] = time.Since(t0)
+	}
+	elapsed := time.Since(start)
+	after := sys.PlanCacheStats()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx].Microseconds()) / 1000
+	}
+	total := float64(after.Hits + after.Misses - before.Hits - before.Misses)
+	m := repeatMeasure{
+		qps: float64(iters) / elapsed.Seconds(),
+		p50: pct(0.50),
+		p99: pct(0.99),
+	}
+	if total > 0 {
+		m.hitRate = float64(after.Hits-before.Hits) / total
+	}
+	return m, nil
+}

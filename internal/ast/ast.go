@@ -77,6 +77,19 @@ type ColumnRef struct {
 // Literal is a constant value.
 type Literal struct {
 	Val value.Value
+	// Src, when non-empty, is the parameter slot this literal's value was
+	// bound from — plan-cache provenance. A cached plan template replaces
+	// Src-tagged literals with Param references so a later execution of the
+	// same query shape can rebind fresh values; passes that combine or
+	// absorb a literal (constant folding, design-item matching) emit
+	// untagged results, which is what marks a shape uncacheable. Src never
+	// affects SQL rendering or evaluation.
+	Src string
+	// EncBy, when non-nil, records the key item this literal was encrypted
+	// under (an *enc.Item, typed opaquely — the enc package sits above ast).
+	// Set together with Src by the planner's constant encryption so a plan
+	// template knows how to re-encrypt the slot's future values.
+	EncBy any
 }
 
 // Param is a named query parameter such as :1.

@@ -36,6 +36,18 @@ type Executor interface {
 	ExecuteStream(q *ast.Query, params map[string]value.Value, w io.Writer) (*server.StreamStats, error)
 }
 
+// StmtExecutor is the optional prepared-statement extension of Executor: a
+// transport connection that can register a RemoteSQL once server-side and
+// re-execute it with only fresh parameters on the wire. The in-process
+// server doesn't bother (there is no wire to save); the client probes with
+// a type assertion and falls back to Execute.
+type StmtExecutor interface {
+	PrepareStmt(q *ast.Query) (uint64, error)
+	ExecuteStmt(id uint64, params map[string]value.Value) (*server.Response, error)
+	ExecuteStmtStream(id uint64, params map[string]value.Value, w io.Writer) (*server.StreamStats, error)
+	CloseStmt(id uint64) error
+}
+
 // Client is a connection to one encrypted database.
 type Client struct {
 	Keys *enc.KeyStore
@@ -63,23 +75,34 @@ type Client struct {
 	// materialized wire, but the first plaintext row exists long before the
 	// server's scan completes (Result.TimeToFirstRow).
 	StreamWire bool
-	exec       Executor
-	meta       map[string]*enc.TableMeta
-	cache      *decryptCache
-	packCache  *packing.PlainCache
+	// ParseHook, when set, is called once per SQL string the client
+	// actually hands to the parser — parse-cache hits skip it. Tests use it
+	// to assert repeated queries parse once.
+	ParseHook func(sql string)
+
+	exec      Executor
+	meta      map[string]*enc.TableMeta
+	cache     *decryptCache
+	packCache *packing.PlainCache
+	plans     *planCache
+	parsed    *parseCache
 }
 
 // New creates a client over an in-process server. ctx must be built over
 // the plaintext schema with the same design the server's database was
 // encrypted under.
 func New(keys *enc.KeyStore, srv *server.Server, ctx *planner.Context, cfg netsim.Config) *Client {
-	return &Client{
+	c := &Client{
 		Keys: keys, Srv: srv, Ctx: ctx, Cfg: cfg,
 		exec:      srv,
 		meta:      srv.DB.Meta,
 		cache:     newDecryptCache(512),
 		packCache: packing.NewPlainCache(),
+		plans:     newPlanCache(defaultPlanCacheCap),
+		parsed:    newParseCache(defaultParseCacheCap),
 	}
+	c.plans.onEvict = c.releaseStmts
+	return c
 }
 
 // NewRemote creates a client whose RemoteSQL runs on a remote server
@@ -90,13 +113,17 @@ func New(keys *enc.KeyStore, srv *server.Server, ctx *planner.Context, cfg netsi
 // ciphertext-group names and pack layouts. Everything else — planning,
 // decryption, residual execution — is identical to the in-process client.
 func NewRemote(keys *enc.KeyStore, exec Executor, meta map[string]*enc.TableMeta, ctx *planner.Context, cfg netsim.Config) *Client {
-	return &Client{
+	c := &Client{
 		Keys: keys, Ctx: ctx, Cfg: cfg,
 		exec:      exec,
 		meta:      meta,
 		cache:     newDecryptCache(512),
 		packCache: packing.NewPlainCache(),
+		plans:     newPlanCache(defaultPlanCacheCap),
+		parsed:    newParseCache(defaultParseCacheCap),
 	}
+	c.plans.onEvict = c.releaseStmts
+	return c
 }
 
 // SetExecutor redirects RemoteSQL execution (tests use it to interpose
@@ -111,7 +138,10 @@ type Result struct {
 	Cols []string
 	Rows [][]value.Value
 
-	Plan         *planner.Plan
+	Plan *planner.Plan
+	// PlanCacheHit reports that this execution reused a cached plan
+	// template (rebind + run, no planning).
+	PlanCacheHit bool
 	ServerTime   time.Duration // simulated server I/O + CPU (incl. UDFs)
 	TransferTime time.Duration // simulated 10 Mbit/s link
 	ClientTime   time.Duration // measured decrypt + local execution
@@ -129,17 +159,48 @@ type Result struct {
 // Total is the end-to-end simulated latency.
 func (r *Result) Total() time.Duration { return r.ServerTime + r.TransferTime + r.ClientTime }
 
-// Query parses, plans, and executes a SQL query with parameters.
+// Query parses, plans, and executes a SQL query with parameters. Parsed
+// ASTs are cached by SQL string, so a repeated query string reaches the
+// parser once (the cached AST is treated as read-only — every downstream
+// pass clones before mutating).
 func (c *Client) Query(sql string, params map[string]value.Value) (*Result, error) {
-	q, err := sqlparser.Parse(sql)
+	q, err := c.parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	return c.Execute(q, params)
 }
 
-// Execute plans and runs a query AST.
+// parse resolves SQL through the parse cache.
+func (c *Client) parse(sql string) (*ast.Query, error) {
+	if q, ok := c.parsed.get(sql); ok {
+		return q, nil
+	}
+	if c.ParseHook != nil {
+		c.ParseHook(sql)
+	}
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.parsed.put(sql, q)
+	return q, nil
+}
+
+// Execute plans and runs a query AST, going through the plan cache: the
+// query is normalized to its shape (literals hoisted to parameter slots)
+// and a cached template for that shape executes by re-encrypting the
+// parameters alone (see fastpath.go).
 func (c *Client) Execute(q *ast.Query, params map[string]value.Value) (*Result, error) {
+	if key, shape, vals, ok := c.shapeKey(q, params); ok {
+		return c.executeKeyed(key, shape, vals)
+	}
+	return c.executeCold(q, params)
+}
+
+// executeCold plans and runs a query from scratch, bypassing the plan
+// cache (the pre-fast-path Execute).
+func (c *Client) executeCold(q *ast.Query, params map[string]value.Value) (*Result, error) {
 	prepared, err := planner.Prepare(q, params)
 	if err != nil {
 		return nil, err
@@ -149,27 +210,33 @@ func (c *Client) Execute(q *ast.Query, params map[string]value.Value) (*Result, 
 	// and substitute their values, so comparisons against them can use
 	// encrypted server-side filters (§8.2: plans may ship intermediate
 	// results between client and server several times).
-	if err := c.preExecuteScalarSubqueries(prepared, res); err != nil {
+	if _, err := c.preExecuteScalarSubqueries(prepared, res); err != nil {
 		return nil, err
 	}
-	var plan *planner.Plan
-	if c.Greedy {
-		plan, err = c.Ctx.Generate(prepared)
-		if err == nil {
-			c.Ctx.CostPlan(plan)
-		}
-	} else {
-		plan, err = c.Ctx.BestPlan(prepared)
-	}
+	plan, err := c.makePlan(prepared)
 	if err != nil {
 		return nil, err
 	}
 	res.Plan = plan
 	cat := storage.NewCatalog()
-	if err := c.runPlan(plan, cat, res); err != nil {
+	if err := c.runPlan(plan, cat, res, nil); err != nil {
 		return nil, err
 	}
-	return c.finishPlan(plan, cat, res)
+	return c.finishPlan(plan, cat, res, nil)
+}
+
+// makePlan generates the plan for a prepared query under the client's
+// planner mode.
+func (c *Client) makePlan(prepared *ast.Query) (*planner.Plan, error) {
+	if c.Greedy {
+		plan, err := c.Ctx.Generate(prepared)
+		if err != nil {
+			return nil, err
+		}
+		c.Ctx.CostPlan(plan)
+		return plan, nil
+	}
+	return c.Ctx.BestPlan(prepared)
 }
 
 // ExecutePlan runs an already-generated plan (used by the experiment
@@ -177,14 +244,36 @@ func (c *Client) Execute(q *ast.Query, params map[string]value.Value) (*Result, 
 func (c *Client) ExecutePlan(plan *planner.Plan) (*Result, error) {
 	res := &Result{Plan: plan}
 	cat := storage.NewCatalog()
-	if err := c.runPlan(plan, cat, res); err != nil {
+	if err := c.runPlan(plan, cat, res, nil); err != nil {
 		return nil, err
 	}
-	return c.finishPlan(plan, cat, res)
+	return c.finishPlan(plan, cat, res, nil)
 }
 
-// finishPlan executes the plan's final local query.
-func (c *Client) finishPlan(plan *planner.Plan, cat *storage.Catalog, res *Result) (*Result, error) {
+// PlanCacheStats snapshots the plan cache's hit/miss/eviction counters.
+func (c *Client) PlanCacheStats() PlanCacheStats { return c.plans.stats() }
+
+/// Close releases client-held server resources: remote prepared-statement
+// handles acquired by cached plans. The client remains usable (caches
+// refill on demand).
+func (c *Client) Close() error {
+	c.plans.purge()
+	return nil
+}
+
+// ResetPlanCache drops every cached plan (closing any remote prepared-
+// statement handles) and the parse cache, forcing subsequent executions
+// down the cold path. Benchmarks use it to measure cold planning cost;
+// counters are not reset.
+func (c *Client) ResetPlanCache() {
+	c.plans.purge()
+	c.parsed.clear()
+}
+
+// finishPlan executes the plan's final local query. ec carries the
+// execution's parameter bindings on the template fast path (nil = cold
+// path, literals are inline).
+func (c *Client) finishPlan(plan *planner.Plan, cat *storage.Catalog, res *Result, ec *execCtx) (*Result, error) {
 	if plan.Local == nil {
 		t, err := cat.Table(plan.Remote.Name)
 		if err != nil {
@@ -200,7 +289,7 @@ func (c *Client) finishPlan(plan *planner.Plan, cat *storage.Catalog, res *Resul
 	eng := engine.New(cat)
 	eng.Parallelism = c.Parallelism
 	eng.BatchSize = c.BatchSize
-	out, err := eng.Execute(plan.Local, nil)
+	out, err := eng.Execute(plan.Local, ec.localParams())
 	if err != nil {
 		return nil, fmt.Errorf("client: local query: %w", err)
 	}
@@ -211,15 +300,15 @@ func (c *Client) finishPlan(plan *planner.Plan, cat *storage.Catalog, res *Resul
 }
 
 // runPlan executes subplans and the remote part, materializing temp tables.
-func (c *Client) runPlan(plan *planner.Plan, cat *storage.Catalog, res *Result) error {
+func (c *Client) runPlan(plan *planner.Plan, cat *storage.Catalog, res *Result, ec *execCtx) error {
 	for _, sp := range plan.Subplans {
-		if err := c.runPlan(sp.Plan, cat, res); err != nil {
+		if err := c.runPlan(sp.Plan, cat, res, ec); err != nil {
 			return err
 		}
 		// A subplan with a local query materializes under its own name.
 		if sp.Plan.Local != nil {
 			sub := &Result{}
-			r, err := c.finishPlan(sp.Plan, cat, sub)
+			r, err := c.finishPlan(sp.Plan, cat, sub, ec)
 			if err != nil {
 				return err
 			}
@@ -243,19 +332,19 @@ func (c *Client) runPlan(plan *planner.Plan, cat *storage.Catalog, res *Result) 
 	if plan.Remote == nil {
 		return nil
 	}
-	return c.runRemote(plan.Remote, cat, res)
+	return c.runRemote(plan.Remote, cat, res, ec)
 }
 
 // runRemote sends one RemoteSQL to the server and decrypts its output into
 // a temp table — over the streamed wire (concurrent per-batch decryption
 // overlapping the server's scan) when StreamWire is set, else over the
 // materialized wire.
-func (c *Client) runRemote(part *planner.RemotePart, cat *storage.Catalog, res *Result) error {
+func (c *Client) runRemote(part *planner.RemotePart, cat *storage.Catalog, res *Result, ec *execCtx) error {
 	if c.StreamWire {
-		return c.runRemoteStreamed(part, cat, res)
+		return c.runRemoteStreamed(part, cat, res, ec)
 	}
 	q := c.resolveHomGroups(part.Query)
-	resp, err := c.exec.Execute(q, nil)
+	resp, err := c.execRemote(part, q, ec)
 	if err != nil {
 		return fmt.Errorf("client: remote %s: %w", part.Name, err)
 	}
@@ -469,8 +558,11 @@ func (c *Client) cachedDecrypt(it *enc.Item, v value.Value, res *Result) (value.
 
 // preExecuteScalarSubqueries finds comparisons against uncorrelated scalar
 // subqueries in WHERE/HAVING and replaces each subquery with its computed
-// value (executed through the full split machinery).
-func (c *Client) preExecuteScalarSubqueries(q *ast.Query, res *Result) error {
+// value (executed through the full split machinery). It reports whether it
+// substituted anything — a substituted value is data-dependent, so the
+// resulting plan must not be cached for the query's shape.
+func (c *Client) preExecuteScalarSubqueries(q *ast.Query, res *Result) (bool, error) {
+	changed := false
 	replace := func(e ast.Expr) (ast.Expr, error) {
 		var firstErr error
 		out := ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
@@ -504,6 +596,7 @@ func (c *Client) preExecuteScalarSubqueries(q *ast.Query, res *Result) error {
 			l := rewriteSide(b.Left)
 			r := rewriteSide(b.Right)
 			if l != b.Left || r != b.Right {
+				changed = true
 				return &ast.BinaryExpr{Op: b.Op, Left: l, Right: r}
 			}
 			return nil
@@ -514,16 +607,16 @@ func (c *Client) preExecuteScalarSubqueries(q *ast.Query, res *Result) error {
 	if q.Where != nil {
 		q.Where, err = replace(q.Where)
 		if err != nil {
-			return err
+			return changed, err
 		}
 	}
 	if q.Having != nil {
 		q.Having, err = replace(q.Having)
 		if err != nil {
-			return err
+			return changed, err
 		}
 	}
-	return nil
+	return changed, nil
 }
 
 // isUncorrelated reports whether the subquery references only its own

@@ -1,0 +1,216 @@
+package client
+
+// The plan cache backs the repeated-query fast path: plans are cached per
+// query *shape* (SQL with every literal hoisted into a parameter slot, plus
+// the parameter kinds, plus the planner mode), so the second execution of a
+// shape skips parse/prepare/rewrite/costing entirely and only re-encrypts
+// parameters. Entries fill under a single-flight protocol — when N
+// goroutines miss the same key simultaneously, one plans and the rest wait
+// for its template — and evict LRU under capacity pressure. A shape that
+// planning proves untemplatable (see planner.Parameterize) is cached
+// negatively so later executions skip the parameterization attempt and go
+// straight to a full plan.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/planner"
+)
+
+// PlanCacheStats is a point-in-time snapshot of the plan cache's counters.
+type PlanCacheStats struct {
+	Hits      int64 // executions served from a cached template
+	Misses    int64 // executions that had to plan (incl. uncacheable shapes)
+	Evictions int64 // entries dropped under capacity pressure
+	Size      int   // entries currently cached (incl. negative entries)
+}
+
+// cachedPlan is one filled cache entry: the reusable template (nil for a
+// negative entry — shape known uncacheable) plus any server-side prepared
+// statement handles acquired for its remote parts.
+type cachedPlan struct {
+	tmpl *planner.Template
+
+	mu    sync.Mutex
+	stmts map[string]uint64 // remote part name -> transport statement id
+}
+
+// planEntry is a cache slot. done closes when the filling goroutine
+// finishes planning; waiters block on it and then read plan (nil plan after
+// done means the fill failed or the shape is uncacheable).
+type planEntry struct {
+	key  string
+	elem *list.Element
+	done chan struct{}
+	plan *cachedPlan
+}
+
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*planEntry
+	lru     *list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	// onEvict, when set, runs outside the cache lock for each evicted
+	// filled entry (the client uses it to close remote prepared statements).
+	onEvict func(*cachedPlan)
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[string]*planEntry),
+		lru:     list.New(),
+	}
+}
+
+// acquire returns the entry for key and whether the caller is its leader
+// (responsible for filling it). Non-leaders must wait on e.done before
+// reading e.plan.
+func (pc *planCache) acquire(key string) (e *planEntry, leader bool) {
+	pc.mu.Lock()
+	if e, ok := pc.entries[key]; ok {
+		pc.lru.MoveToFront(e.elem)
+		pc.mu.Unlock()
+		return e, false
+	}
+	e = &planEntry{key: key, done: make(chan struct{})}
+	e.elem = pc.lru.PushFront(e)
+	pc.entries[key] = e
+	evicted := pc.evictLocked()
+	pc.mu.Unlock()
+	for _, ev := range evicted {
+		if pc.onEvict != nil && ev.plan != nil {
+			pc.onEvict(ev.plan)
+		}
+	}
+	return e, true
+}
+
+// evictLocked drops LRU entries until the cache fits its capacity,
+// returning the filled entries dropped so the caller can run onEvict
+// outside the lock. Pending (unfilled) entries can be evicted too — their
+// leader still closes done, the entry just no longer lives in the map.
+func (pc *planCache) evictLocked() []*planEntry {
+	var out []*planEntry
+	for pc.cap > 0 && pc.lru.Len() > pc.cap {
+		back := pc.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*planEntry)
+		pc.lru.Remove(back)
+		delete(pc.entries, ev.key)
+		pc.evictions.Add(1)
+		select {
+		case <-ev.done:
+			out = append(out, ev)
+		default:
+			// still pending; its leader will fill it, but nobody new can
+			// find it — it is garbage once the waiters drain
+		}
+	}
+	return out
+}
+
+// fill publishes the leader's planning outcome (plan == nil for a failed or
+// uncacheable fill) and wakes waiters.
+func (pc *planCache) fill(e *planEntry, plan *cachedPlan) {
+	e.plan = plan
+	close(e.done)
+}
+
+// abandon removes a failed entry so the next execution of the shape retries
+// planning, then wakes waiters (who will see a nil plan and plan solo).
+func (pc *planCache) abandon(e *planEntry) {
+	pc.mu.Lock()
+	if cur, ok := pc.entries[e.key]; ok && cur == e {
+		pc.lru.Remove(e.elem)
+		delete(pc.entries, e.key)
+	}
+	pc.mu.Unlock()
+	close(e.done)
+}
+
+func (pc *planCache) stats() PlanCacheStats {
+	pc.mu.Lock()
+	n := len(pc.entries)
+	pc.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      pc.hits.Load(),
+		Misses:    pc.misses.Load(),
+		Evictions: pc.evictions.Load(),
+		Size:      n,
+	}
+}
+
+// purge empties the cache, running onEvict for every filled entry (used on
+// Close to release remote prepared statements).
+func (pc *planCache) purge() {
+	pc.mu.Lock()
+	var filled []*planEntry
+	for _, e := range pc.entries {
+		select {
+		case <-e.done:
+			if e.plan != nil {
+				filled = append(filled, e)
+			}
+		default:
+		}
+	}
+	pc.entries = make(map[string]*planEntry)
+	pc.lru.Init()
+	pc.mu.Unlock()
+	for _, e := range filled {
+		if pc.onEvict != nil {
+			pc.onEvict(e.plan)
+		}
+	}
+}
+
+// parseCache is a bounded SQL-string → parsed-AST cache. Cached ASTs are
+// shared and treated as read-only: every consumer (hoisting, preparation)
+// clones before mutating.
+type parseCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*ast.Query
+}
+
+func newParseCache(capacity int) *parseCache {
+	return &parseCache{cap: capacity, m: make(map[string]*ast.Query)}
+}
+
+func (pc *parseCache) get(sql string) (*ast.Query, bool) {
+	pc.mu.Lock()
+	q, ok := pc.m[sql]
+	pc.mu.Unlock()
+	return q, ok
+}
+
+func (pc *parseCache) clear() {
+	pc.mu.Lock()
+	pc.m = make(map[string]*ast.Query)
+	pc.mu.Unlock()
+}
+
+func (pc *parseCache) put(sql string, q *ast.Query) {
+	pc.mu.Lock()
+	if len(pc.m) >= pc.cap {
+		// Arbitrary-member eviction, like the decryption cache: Go map
+		// iteration order serves as the random draw.
+		for k := range pc.m {
+			delete(pc.m, k)
+			break
+		}
+	}
+	pc.m[sql] = q
+	pc.mu.Unlock()
+}

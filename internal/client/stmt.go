@@ -1,0 +1,46 @@
+package client
+
+// Prepared statements, client side. A Stmt pins one parsed query AST; each
+// Execute routes through the plan cache, so the first execution of a
+// parameter-kind combination plans and caches a template, and later ones
+// rebind only. When the executor is a transport connection, each cached
+// plan additionally registers its RemoteSQL server-side once (PREPARE
+// frame) and re-executes it by statement id with only fresh encrypted
+// parameters on the wire; those handles belong to the plan-cache entry and
+// close when it evicts or the client closes.
+
+import (
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Stmt is a prepared statement: a parsed query executed repeatedly with
+// different parameters.
+type Stmt struct {
+	c   *Client
+	q   *ast.Query
+	sql string
+}
+
+// Prepare parses a SQL query once for repeated execution.
+func (c *Client) Prepare(sql string) (*Stmt, error) {
+	q, err := c.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, q: q, sql: sql}, nil
+}
+
+// SQL returns the statement's source text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// Execute runs the statement with one set of parameter values.
+func (s *Stmt) Execute(params map[string]value.Value) (*Result, error) {
+	return s.c.Execute(s.q, params)
+}
+
+// Close releases the statement. Plans and server-side handles belong to
+// the client's plan cache (shared across statements with the same shape),
+// so there is nothing statement-local to free; Close exists for driver-
+// style symmetry.
+func (s *Stmt) Close() error { return nil }

@@ -65,8 +65,11 @@ type decodeJob struct {
 	out  chan decodedBatch
 }
 
-// runRemoteStreamed executes one RemoteSQL over the streamed wire.
-func (c *Client) runRemoteStreamed(part *planner.RemotePart, cat *storage.Catalog, res *Result) error {
+// runRemoteStreamed executes one RemoteSQL over the streamed wire. On the
+// template fast path (ec != nil) the part's encrypted parameter bindings
+// ride along, and a statement-capable executor streams via the part's
+// server-side prepared statement.
+func (c *Client) runRemoteStreamed(part *planner.RemotePart, cat *storage.Catalog, res *Result, ec *execCtx) error {
 	q := c.resolveHomGroups(part.Query)
 	pr, pw := io.Pipe()
 
@@ -77,7 +80,17 @@ func (c *Client) runRemoteStreamed(part *planner.RemotePart, cat *storage.Catalo
 	srvDone := make(chan struct{})
 	go func() {
 		defer close(srvDone)
-		sstats, srvErr = c.exec.ExecuteStream(q, nil, pw)
+		if se, id, ok := c.stmtFor(part, q, ec); ok {
+			sstats, srvErr = se.ExecuteStmtStream(id, ec.encParams(), pw)
+			if srvErr != nil {
+				// Stale handle or query failure: forget the handle; the
+				// error surfaces to the caller, and the next execution
+				// re-registers or reports the real failure.
+				c.dropStmt(part, ec)
+			}
+		} else {
+			sstats, srvErr = c.exec.ExecuteStream(q, ec.encParams(), pw)
+		}
 		pw.CloseWithError(srvErr) // nil = clean EOF after the end frame
 	}()
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 // Key is a Paillier keypair. The public part is (N, G); the private part is
@@ -25,6 +26,9 @@ type Key struct {
 	Lambda  *big.Int // lcm(p-1, q-1) (private)
 	Mu      *big.Int // (L(G^Lambda mod N²))⁻¹ mod N (private)
 	randSrc io.Reader
+
+	pmu  sync.RWMutex
+	pool *Pool // optional precomputed blinding factors (see pool.go)
 }
 
 // GenerateKey creates a keypair with an n-bit modulus. The paper uses 1,024
@@ -84,23 +88,21 @@ func (k *Key) Encrypt(m *big.Int) (*big.Int, error) {
 	if m.Sign() < 0 || m.Cmp(k.N) >= 0 {
 		return nil, fmt.Errorf("paillier: plaintext out of range [0, N)")
 	}
-	// r uniform in Z*_N
-	var r *big.Int
-	for {
+	// The blinding factor r^N mod N² (r uniform in Z*_N) is plaintext-
+	// independent; take a precomputed one when a pool is attached and
+	// stocked, else compute inline.
+	rn := k.pooledFactor()
+	if rn == nil {
 		var err error
-		r, err = rand.Int(k.randSrc, k.N)
+		rn, err = k.blindingFactor()
 		if err != nil {
 			return nil, err
-		}
-		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, k.N).Cmp(big.NewInt(1)) == 0 {
-			break
 		}
 	}
 	// c = g^m * r^N mod N². With g = N+1, g^m = 1 + m*N (mod N²).
 	gm := new(big.Int).Mul(m, k.N)
 	gm.Add(gm, big.NewInt(1))
 	gm.Mod(gm, k.N2)
-	rn := new(big.Int).Exp(r, k.N, k.N2)
 	c := new(big.Int).Mul(gm, rn)
 	c.Mod(c, k.N2)
 	return c, nil

@@ -1,0 +1,153 @@
+package paillier
+
+// Randomness pooling for the encryption hot path. A Paillier encryption is
+// c = g^m · r^N mod N², and the expensive factor — r^N mod N², a full
+// modular exponentiation — does not depend on the plaintext at all. A Pool
+// precomputes those blinding factors on background workers; a pooled
+// Encrypt then costs one multiply-and-reduce (g^m for g = N+1 is the
+// linear form 1 + m·N). Ciphertexts are byte-compatible with unpooled
+// encryption: both are g^m·r^N for a fresh uniform r ∈ Z*_N, the pool only
+// moves *when* r^N is computed.
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Pool precomputes r^N mod N² blinding factors for one key.
+type Pool struct {
+	key *Key
+
+	factors chan *big.Int
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool of capacity precomputed factors, refilled by
+// workers background goroutines (≥ 1). Close must be called to release
+// them.
+func NewPool(key *Key, capacity, workers int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		key:     key,
+		factors: make(chan *big.Int, capacity),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.fillLoop()
+	}
+	return p
+}
+
+// fillLoop computes blinding factors until the channel is full, blocking
+// while it stays full, and exits on Close.
+func (p *Pool) fillLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		f, err := p.key.blindingFactor()
+		if err != nil {
+			// crypto/rand failing is unrecoverable; stop refilling and let
+			// Encrypt fall back to inline computation (which will surface
+			// the same error).
+			return
+		}
+		select {
+		case p.factors <- f:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// take returns a precomputed factor, or nil when the pool is momentarily
+// drained (the caller computes inline rather than blocking the hot path).
+func (p *Pool) take() *big.Int {
+	select {
+	case f := <-p.factors:
+		return f
+	default:
+		return nil
+	}
+}
+
+// Ready reports how many precomputed factors are currently pooled.
+func (p *Pool) Ready() int { return len(p.factors) }
+
+// Close stops the refill workers and joins them. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.stop)
+	p.mu.Unlock()
+	// Drain so a worker blocked on a full channel sees stop.
+	for {
+		select {
+		case <-p.factors:
+		default:
+			p.wg.Wait()
+			return
+		}
+	}
+}
+
+// blindingFactor computes r^N mod N² for a fresh uniform r ∈ Z*_N.
+func (k *Key) blindingFactor() (*big.Int, error) {
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(k.randSrc, k.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, k.N).Cmp(big.NewInt(1)) == 0 {
+			break
+		}
+	}
+	return new(big.Int).Exp(r, k.N, k.N2), nil
+}
+
+// UsePool attaches a pool to the key: subsequent Encrypt calls consume
+// precomputed blinding factors when available and compute inline when the
+// pool is drained. Pass nil to detach. The pool must have been created for
+// this key.
+func (k *Key) UsePool(p *Pool) error {
+	if p != nil && p.key != k {
+		return fmt.Errorf("paillier: pool belongs to a different key")
+	}
+	k.pmu.Lock()
+	k.pool = p
+	k.pmu.Unlock()
+	return nil
+}
+
+// pooledFactor returns a precomputed blinding factor if a pool is attached
+// and stocked.
+func (k *Key) pooledFactor() *big.Int {
+	k.pmu.RLock()
+	p := k.pool
+	k.pmu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	return p.take()
+}

@@ -1,0 +1,170 @@
+package paillier
+
+import (
+	"math/big"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPooledEncryptDecrypts: pooled encryptions must decrypt to the same
+// plaintexts, and homomorphic addition must keep working across pooled and
+// unpooled ciphertexts (they are the same construction, only the blinding
+// factor's computation time moves).
+func TestPooledEncryptDecrypts(t *testing.T) {
+	k, err := GenerateKey(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(k, 16, 2)
+	defer pool.Close()
+	if err := k.UsePool(pool); err != nil {
+		t.Fatal(err)
+	}
+	defer k.UsePool(nil)
+
+	var sum int64
+	acc, err := k.EncryptZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 40; i++ {
+		c, err := k.EncryptInt64(i * 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := k.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Int64() != i*13 {
+			t.Fatalf("pooled encrypt(%d) decrypted to %v", i*13, m)
+		}
+		acc = k.AddCipher(acc, c)
+		sum += i * 13
+	}
+	m, err := k.Decrypt(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != sum {
+		t.Fatalf("homomorphic sum = %v, want %d", m, sum)
+	}
+}
+
+// TestPoolDrainRefill: encrypting faster than the fillers refill must not
+// block or fail (inline fallback), and an idle pool must refill to
+// capacity.
+func TestPoolDrainRefill(t *testing.T) {
+	k, err := GenerateKey(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(k, 8, 1)
+	defer pool.Close()
+	if err := k.UsePool(pool); err != nil {
+		t.Fatal(err)
+	}
+	defer k.UsePool(nil)
+	// Burst: far more encryptions than the pool holds. Every one must
+	// succeed whether it drew from the pool or fell back inline.
+	for i := 0; i < 100; i++ {
+		c, err := k.EncryptInt64(int64(i))
+		if err != nil {
+			t.Fatalf("encrypt %d: %v", i, err)
+		}
+		m, err := k.Decrypt(c)
+		if err != nil || m.Int64() != int64(i) {
+			t.Fatalf("decrypt %d: %v %v", i, m, err)
+		}
+	}
+	// Idle: the filler must restock to capacity.
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Ready() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool only refilled to %d/8", pool.Ready())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPoolCloseJoinsWorkers: Close must terminate the filler goroutines —
+// including ones blocked on a full channel — and be idempotent.
+func TestPoolCloseJoinsWorkers(t *testing.T) {
+	k, err := GenerateKey(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	pools := make([]*Pool, 5)
+	for i := range pools {
+		pools[i] = NewPool(k, 4, 3)
+	}
+	// Let the fillers reach the blocked-on-full state.
+	deadline := time.Now().Add(5 * time.Second)
+	for pools[0].Ready() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never filled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, p := range pools {
+		p.Close()
+		p.Close() // idempotent
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPoolWrongKeyRefused: a pool precomputes factors mod one key's N² and
+// must not attach to another key.
+func TestPoolWrongKeyRefused(t *testing.T) {
+	k1, err := GenerateKey(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateKey(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(k1, 2, 1)
+	defer pool.Close()
+	if err := k2.UsePool(pool); err == nil {
+		t.Fatal("attaching a pool built for another key must fail")
+	}
+}
+
+// TestPooledCiphertextUniform: two pooled encryptions of the same plaintext
+// must differ (fresh blinding factors), and a pooled ciphertext must stay
+// in range.
+func TestPooledCiphertextUniform(t *testing.T) {
+	k, err := GenerateKey(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(k, 4, 1)
+	defer pool.Close()
+	if err := k.UsePool(pool); err != nil {
+		t.Fatal(err)
+	}
+	defer k.UsePool(nil)
+	a, err := k.Encrypt(big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Encrypt(big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) == 0 {
+		t.Fatal("two encryptions of the same plaintext must not collide")
+	}
+	if a.Sign() <= 0 || a.Cmp(k.N2) >= 0 {
+		t.Fatal("pooled ciphertext out of range")
+	}
+}

@@ -26,6 +26,7 @@ type KeyStore struct {
 	opes   map[string]*ope.Scheme
 	rnds   map[string]*rnd.Scheme
 	srches map[string]*search.Scheme
+	ppool  *paillier.Pool
 }
 
 // NewKeyStore creates a key store with the given master secret and Paillier
@@ -47,6 +48,33 @@ func NewKeyStore(master []byte, paillierBits int) (*KeyStore, error) {
 
 // Paillier returns the store's Paillier keypair.
 func (ks *KeyStore) Paillier() *paillier.Key { return ks.paillier }
+
+// EnablePaillierPool attaches a background randomness pool to the Paillier
+// key: workers goroutines precompute the r^N mod N² blinding factors so
+// hot-path encryptions skip the modular exponentiation. Callers that enable
+// the pool own its lifetime and must call Close to join the workers.
+func (ks *KeyStore) EnablePaillierPool(capacity, workers int) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if ks.ppool != nil {
+		return
+	}
+	ks.ppool = paillier.NewPool(ks.paillier, capacity, workers)
+	ks.paillier.UsePool(ks.ppool)
+}
+
+// Close stops any background workers the store started (currently the
+// Paillier randomness pool). Safe to call when nothing was enabled.
+func (ks *KeyStore) Close() {
+	ks.mu.Lock()
+	p := ks.ppool
+	ks.ppool = nil
+	ks.mu.Unlock()
+	if p != nil {
+		ks.paillier.UsePool(nil)
+		p.Close()
+	}
+}
 
 // Det returns the DET scheme for an item.
 func (ks *KeyStore) Det(it *Item) *det.Scheme {

@@ -145,8 +145,14 @@ func (g *genState) genServerGrouped(plan *Plan, s *scope, q *ast.Query, remoteFr
 			if sv, it, pok := ctx.rewriteValue(s, e, enc.OPE); pok {
 				m := g.prefilterM(s, e)
 				if m > 0 {
-					encM, eok := ctx.encConst(it, value.NewInt(m))
+					encM, eok := ctx.encConst(it, value.NewInt(m), "")
 					if eok {
+						if lit.Src != "" {
+							// The count threshold below derives from the HAVING
+							// literal's value; a template could not recompute it
+							// by re-encrypting parameters alone.
+							plan.NoCache = true
+						}
 						g.note(it)
 						// A qualifying group either has a value above m, or
 						// its count must exceed c/m (sum <= count*m); floor

@@ -85,6 +85,11 @@ type Plan struct {
 	UsedItems []enc.Item
 	// Prefilter notes that §5.4 conservative pre-filtering was applied.
 	Prefilter bool
+	// NoCache marks the plan untemplatable: some pass baked a
+	// parameter-derived constant into the plan in a form rebinding cannot
+	// reproduce (e.g. the §5.4 pre-filter's count threshold). The plan is
+	// still valid for this execution; it just must not be cached by shape.
+	NoCache bool
 
 	// Cost-model estimates (seconds), filled by costPlan.
 	EstServer   float64

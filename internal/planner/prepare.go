@@ -21,17 +21,37 @@ import (
 
 // Prepare applies all passes, returning a transformed clone.
 func Prepare(q *ast.Query, params map[string]value.Value) (*ast.Query, error) {
+	out, _, err := PrepareTagged(q, params)
+	return out, err
+}
+
+// BoundSlot records one parameter occurrence bound by PrepareTagged: Tag is
+// the unique provenance tag stamped on the bound literal (Literal.Src),
+// Param the parameter it was bound from. A plan template is sound for a
+// query shape only if every bound occurrence survives planning as a
+// rebindable site — the template coverage check (template.go) verifies each
+// Tag against this list.
+type BoundSlot struct {
+	Tag   string
+	Param string
+}
+
+// PrepareTagged is Prepare with plan-cache provenance: every literal bound
+// from a parameter carries a unique per-occurrence Src tag, and the full
+// occurrence list is returned for the template coverage check.
+func PrepareTagged(q *ast.Query, params map[string]value.Value) (*ast.Query, []BoundSlot, error) {
 	out := q.Clone()
-	if err := bindParams(out, params); err != nil {
-		return nil, err
+	slots, err := bindParams(out, params)
+	if err != nil {
+		return nil, nil, err
 	}
 	mapQueryExprs(out, foldConstants)
 	mapQueryExprs(out, rewriteAvg)
 	if err := flattenDerived(out); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resolveAliases(out)
-	return out, nil
+	return out, slots, nil
 }
 
 // resolveAliases inlines SELECT-list aliases referenced from HAVING and
@@ -132,14 +152,21 @@ func mapQueryExprs(q *ast.Query, fn func(ast.Expr) ast.Expr) {
 	visit(q.Having)
 }
 
-// bindParams replaces Param nodes with literal values.
-func bindParams(q *ast.Query, params map[string]value.Value) error {
+// bindParams replaces Param nodes with literal values, stamping each bound
+// literal with a unique per-occurrence provenance tag (Literal.Src). A
+// parameter used at two syntactic sites yields two distinct tags, so the
+// template coverage check can tell "every occurrence survived" from "one
+// copy survived, another was folded into an untagged constant".
+func bindParams(q *ast.Query, params map[string]value.Value) ([]BoundSlot, error) {
 	var missing error
+	var slots []BoundSlot
 	mapQueryExprs(q, func(e ast.Expr) ast.Expr {
 		return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
 			if p, ok := x.(*ast.Param); ok {
 				if v, ok := params[p.Name]; ok {
-					return &ast.Literal{Val: v}
+					tag := p.Name + "\x00" + fmt.Sprint(len(slots))
+					slots = append(slots, BoundSlot{Tag: tag, Param: p.Name})
+					return &ast.Literal{Val: v, Src: tag}
 				}
 				if missing == nil {
 					missing = fmt.Errorf("planner: unbound parameter :%s", p.Name)
@@ -148,7 +175,7 @@ func bindParams(q *ast.Query, params map[string]value.Value) error {
 			return nil
 		})
 	})
-	return missing
+	return slots, missing
 }
 
 // foldConstants evaluates constant subexpressions bottom-up.

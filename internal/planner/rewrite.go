@@ -70,12 +70,20 @@ func (s *scope) singleEntry(e ast.Expr) *scopeEntry {
 }
 
 // encConst encrypts a constant under an item's key as a server literal.
-func (ctx *Context) encConst(it *enc.Item, v value.Value) (ast.Expr, bool) {
+// src carries the plaintext literal's provenance tag (empty for constants
+// the planner itself synthesizes): the encrypted literal keeps the tag and
+// records the item, so a plan template can re-encrypt the slot's future
+// values (template.go).
+func (ctx *Context) encConst(it *enc.Item, v value.Value, src string) (ast.Expr, bool) {
 	cv, err := ctx.Keys.EncryptValue(it, v)
 	if err != nil {
 		return nil, false
 	}
-	return &ast.Literal{Val: cv}, true
+	lit := &ast.Literal{Val: cv, Src: src}
+	if src != "" {
+		lit.EncBy = it
+	}
+	return lit, true
 }
 
 // constVal evaluates a constant expression (literals and folded
@@ -86,6 +94,15 @@ func constVal(e ast.Expr) (value.Value, bool) {
 		return l.Val, true
 	}
 	return value.Value{}, false
+}
+
+// constSrc returns a constant expression's provenance tag ("" when the
+// expression is not a tagged literal).
+func constSrc(e ast.Expr) string {
+	if l, ok := e.(*ast.Literal); ok {
+		return l.Src
+	}
+	return ""
 }
 
 // rewriteValue rewrites a value expression to an encrypted column reference
@@ -162,8 +179,8 @@ func (ctx *Context) rewritePred(s *scope, e ast.Expr) (ast.Expr, bool) {
 		if !ok1 || !ok2 {
 			return nil, false
 		}
-		lo, ok1 := ctx.encConst(it, loV)
-		hi, ok2 := ctx.encConst(it, hiV)
+		lo, ok1 := ctx.encConst(it, loV, constSrc(x.Lo))
+		hi, ok2 := ctx.encConst(it, hiV, constSrc(x.Hi))
 		if !ok1 || !ok2 {
 			return nil, false
 		}
@@ -183,7 +200,7 @@ func (ctx *Context) rewritePred(s *scope, e ast.Expr) (ast.Expr, bool) {
 			if !ok {
 				return nil, false
 			}
-			ev, ok := ctx.encConst(it, v)
+			ev, ok := ctx.encConst(it, v, constSrc(item))
 			if !ok {
 				return nil, false
 			}
@@ -225,7 +242,7 @@ func (ctx *Context) rewriteCompare(s *scope, x *ast.BinaryExpr, scheme enc.Schem
 		if !ok {
 			return nil, false
 		}
-		ev, ok := ctx.encConst(it, rv)
+		ev, ok := ctx.encConst(it, rv, constSrc(x.Right))
 		if !ok {
 			return nil, false
 		}
@@ -235,7 +252,7 @@ func (ctx *Context) rewriteCompare(s *scope, x *ast.BinaryExpr, scheme enc.Schem
 		if !ok {
 			return nil, false
 		}
-		ev, ok := ctx.encConst(it, lv)
+		ev, ok := ctx.encConst(it, lv, constSrc(x.Left))
 		if !ok {
 			return nil, false
 		}
@@ -268,7 +285,7 @@ func (ctx *Context) rewriteWholePredicate(s *scope, e ast.Expr) (ast.Expr, bool)
 	if !ok {
 		return nil, false
 	}
-	ev, ok := ctx.encConst(it, value.NewBool(true))
+	ev, ok := ctx.encConst(it, value.NewBool(true), "")
 	if !ok {
 		return nil, false
 	}

@@ -162,7 +162,12 @@ func (c *Conn) Execute(q *ast.Query, params map[string]value.Value) (*server.Res
 	if err != nil {
 		return nil, err
 	}
-	br, err := wire.NewBatchReader(&buf)
+	return materialize(&buf, st)
+}
+
+// materialize decodes a buffered result stream into a Response.
+func materialize(buf *bytes.Buffer, st *server.StreamStats) (*server.Response, error) {
+	br, err := wire.NewBatchReader(buf)
 	if err != nil {
 		return nil, fmt.Errorf("transport: decoding result stream: %w", err)
 	}
@@ -210,7 +215,12 @@ func (c *Conn) ExecuteStreamCtx(ctx context.Context, q *ast.Query, params map[st
 	if err := c.writeFrame(frameQuery, payload); err != nil {
 		return nil, err
 	}
+	return c.awaitResult(ctx, qid, w)
+}
 
+// awaitResult reads the frames of one in-flight query (qid) to completion,
+// copying data-frame payloads into w. Caller holds qmu.
+func (c *Conn) awaitResult(ctx context.Context, qid uint64, w io.Writer) (*server.StreamStats, error) {
 	// Cancel watcher: translate ctx cancellation into a cancel frame. The
 	// read loop below then runs to the server's CodeCancelled error frame.
 	watchDone := make(chan struct{})
@@ -308,6 +318,113 @@ func decodeQID(p []byte) uint64 {
 		q = q<<8 | uint64(b)
 	}
 	return q
+}
+
+// PrepareStmt registers q as a server-side prepared statement and returns
+// its id. The query's literals are hoisted exactly as Execute would hoist
+// them and shipped once as the statement's fixed parameters; later
+// ExecuteStmt calls ship only per-execution parameters. Statement ids come
+// from the session's query-id sequence, so error frames are unambiguous.
+func (c *Conn) PrepareStmt(q *ast.Query) (uint64, error) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if err := c.poisoned(); err != nil {
+		return 0, err
+	}
+	c.nextQID++
+	id := c.nextQID
+	hq, hoisted, order := hoistLiterals(q)
+	payload, err := queryPayload(id, hq.SQL(), hoisted, order)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.writeFrame(framePrepare, payload); err != nil {
+		return 0, err
+	}
+	for {
+		tag, payload, err := readFrame(c.conn)
+		if err != nil {
+			err = fmt.Errorf("transport: connection lost mid-prepare: %w", err)
+			c.poison(err)
+			c.conn.Close()
+			return 0, err
+		}
+		switch tag {
+		case framePrepareOK:
+			okID, err := parsePrepareOK(payload)
+			if err != nil {
+				return 0, c.protocolFail(err.Error())
+			}
+			if okID != id {
+				continue
+			}
+			return id, nil
+		case frameData, frameDone:
+			continue // late frames from a cancelled predecessor
+		case frameError:
+			errID, re, perr := parseError(payload)
+			if perr != nil {
+				return 0, c.protocolFail(perr.Error())
+			}
+			if errID != id {
+				continue
+			}
+			return 0, re
+		default:
+			return 0, c.protocolFail(fmt.Sprintf("unexpected frame %#x", tag))
+		}
+	}
+}
+
+// ExecuteStmt runs a prepared statement to completion and materializes the
+// result — the statement counterpart of Execute.
+func (c *Conn) ExecuteStmt(id uint64, params map[string]value.Value) (*server.Response, error) {
+	var buf bytes.Buffer
+	st, err := c.ExecuteStmtStream(id, params, &buf)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(&buf, st)
+}
+
+// ExecuteStmtStream runs a prepared statement, writing the framed batch
+// stream to w as data frames arrive.
+func (c *Conn) ExecuteStmtStream(id uint64, params map[string]value.Value, w io.Writer) (*server.StreamStats, error) {
+	return c.ExecuteStmtStreamCtx(context.Background(), id, params, w)
+}
+
+// ExecuteStmtStreamCtx is ExecuteStmtStream with cancellation.
+func (c *Conn) ExecuteStmtStreamCtx(ctx context.Context, id uint64, params map[string]value.Value, w io.Writer) (*server.StreamStats, error) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if err := c.poisoned(); err != nil {
+		return nil, err
+	}
+	c.nextQID++
+	qid := c.nextQID
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	payload, err := execStmtPayload(qid, id, params, names)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeFrame(frameExecStmt, payload); err != nil {
+		return nil, err
+	}
+	return c.awaitResult(ctx, qid, w)
+}
+
+// CloseStmt releases a server-side prepared statement. Fire-and-forget:
+// the server deletes the statement when the frame arrives; executions
+// already decoded keep their resolved statement and finish normally.
+func (c *Conn) CloseStmt(id uint64) error {
+	if err := c.poisoned(); err != nil {
+		return err
+	}
+	return c.writeFrame(frameCloseStmt, closeStmtPayload(id))
 }
 
 // buildQueryPayload renders q for the wire: every literal hoisted to a

@@ -9,69 +9,22 @@ package transport
 // server's engine resolves them at evaluation time exactly like
 // user-supplied parameters. This round-trips every value kind (bytes,
 // dates, floats, NULL) without touching the SQL grammar.
+//
+// The traversal itself lives in planner.HoistLiterals — the client's plan
+// cache normalizes query shapes with the same machinery.
 
 import (
-	"strconv"
-
 	"repro/internal/ast"
+	"repro/internal/planner"
 	"repro/internal/value"
 )
+
+// hoistPrefix names the transport's hoisted-literal parameter slots (:tpN).
+const hoistPrefix = "tp"
 
 // hoistLiterals returns a copy of q with every literal replaced by a
 // parameter reference :tpN, the parameter values, and their order (for
 // deterministic framing).
 func hoistLiterals(q *ast.Query) (*ast.Query, map[string]value.Value, []string) {
-	h := &hoister{params: make(map[string]value.Value)}
-	out := h.query(q.Clone())
-	return out, h.params, h.order
-}
-
-type hoister struct {
-	params map[string]value.Value
-	order  []string
-	n      int
-}
-
-func (h *hoister) query(q *ast.Query) *ast.Query {
-	if q == nil {
-		return nil
-	}
-	for i := range q.Projections {
-		q.Projections[i].Expr = h.expr(q.Projections[i].Expr)
-	}
-	for i := range q.From {
-		q.From[i].Sub = h.query(q.From[i].Sub)
-	}
-	q.Where = h.expr(q.Where)
-	for i := range q.GroupBy {
-		q.GroupBy[i] = h.expr(q.GroupBy[i])
-	}
-	q.Having = h.expr(q.Having)
-	for i := range q.OrderBy {
-		q.OrderBy[i].Expr = h.expr(q.OrderBy[i].Expr)
-	}
-	return q
-}
-
-func (h *hoister) expr(e ast.Expr) ast.Expr {
-	return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
-		switch n := x.(type) {
-		case *ast.Literal:
-			name := "tp" + strconv.Itoa(h.n)
-			h.n++
-			h.params[name] = n.Val
-			h.order = append(h.order, name)
-			return &ast.Param{Name: name}
-		case *ast.SubqueryExpr:
-			return &ast.SubqueryExpr{Sub: h.query(n.Sub)}
-		case *ast.ExistsExpr:
-			return &ast.ExistsExpr{Sub: h.query(n.Sub), Not: n.Not}
-		case *ast.InExpr:
-			if n.Sub != nil {
-				n.Sub = h.query(n.Sub)
-			}
-			return n
-		}
-		return nil
-	})
+	return planner.HoistLiterals(q, hoistPrefix)
 }

@@ -1,0 +1,286 @@
+package transport
+
+// Prepared-statement protocol tests: PREPARE/EXECUTE/CLOSE round-trips
+// against real loopback TCP, error behaviour for unknown and closed
+// statement ids (a clean error frame — the session survives), server-side
+// parse failure at prepare time, statement accounting, and fuzzing of the
+// prepared-frame parsers alongside FuzzParseFrames.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sqlparser"
+	"repro/internal/value"
+)
+
+// TestPreparedRoundTrip: prepare once, execute many times with different
+// parameters — materialized and streamed — each result identical to the
+// unprepared path, with exact statement accounting on both ends.
+func TestPreparedRoundTrip(t *testing.T) {
+	backend := testBackend(t, 300)
+	s := startServer(t, backend, Config{})
+	c := dialTest(t, s)
+
+	q := sqlparser.MustParse(`SELECT v, s FROM t WHERE k = 3 AND v >= :lo ORDER BY v`)
+	id, err := c.PrepareStmt(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lo := range []int64{0, 50, 150, 250, 50} {
+		params := map[string]value.Value{"lo": value.NewInt(lo)}
+		got, err := c.ExecuteStmt(id, params)
+		if err != nil {
+			t.Fatalf("lo=%d: %v", lo, err)
+		}
+		want, err := backend.Execute(q, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Result.Rows) != len(want.Result.Rows) {
+			t.Fatalf("lo=%d: %d rows, want %d", lo, len(got.Result.Rows), len(want.Result.Rows))
+		}
+		for i := range want.Result.Rows {
+			for j := range want.Result.Rows[i] {
+				if value.Compare(want.Result.Rows[i][j], got.Result.Rows[i][j]) != 0 {
+					t.Fatalf("lo=%d row %d col %d: %v vs %v", lo, i, j,
+						got.Result.Rows[i][j], want.Result.Rows[i][j])
+				}
+			}
+		}
+
+		// The streamed execution must be byte-identical to the in-process
+		// stream, like ExecuteStream is.
+		var wantBuf, gotBuf bytes.Buffer
+		if _, err := backend.ExecuteStream(q, params, &wantBuf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ExecuteStmtStream(id, params, &gotBuf); err != nil {
+			t.Fatalf("lo=%d stream: %v", lo, err)
+		}
+		if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+			t.Fatalf("lo=%d: prepared stream differs from in-process stream", lo)
+		}
+	}
+	st := s.Stats()
+	if st.Prepared != 1 {
+		t.Errorf("server Prepared = %d, want 1", st.Prepared)
+	}
+	if st.StmtExecs != 10 {
+		t.Errorf("server StmtExecs = %d, want 10", st.StmtExecs)
+	}
+	ss, ok := s.SessionStats(c.SessionID())
+	if !ok || ss.Prepared != 1 || ss.StmtExecs != 10 {
+		t.Errorf("session stats %+v, want Prepared=1 StmtExecs=10", ss)
+	}
+}
+
+// TestExecuteUnknownStmt: executing a never-prepared or already-closed id
+// yields CodeUnknownStmt and the session keeps serving.
+func TestExecuteUnknownStmt(t *testing.T) {
+	backend := testBackend(t, 50)
+	s := startServer(t, backend, Config{})
+	c := dialTest(t, s)
+
+	wantUnknown := func(what string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: expected an error", what)
+		}
+		var re *RejectError
+		if !errors.As(err, &re) || re.Code != CodeUnknownStmt {
+			t.Fatalf("%s: got %v, want CodeUnknownStmt", what, err)
+		}
+	}
+	_, err := c.ExecuteStmt(999, nil)
+	wantUnknown("never-prepared id", err)
+
+	q := sqlparser.MustParse(`SELECT k FROM t WHERE v < 10`)
+	id, err := c.PrepareStmt(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteStmt(id, nil); err != nil {
+		t.Fatalf("live statement: %v", err)
+	}
+	if err := c.CloseStmt(id); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.ExecuteStmt(id, nil)
+	wantUnknown("closed id", err)
+	// Closing again (or closing garbage) is idempotent fire-and-forget.
+	if err := c.CloseStmt(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseStmt(424242); err != nil {
+		t.Fatal(err)
+	}
+
+	// The session survived every failure above: ad-hoc queries and fresh
+	// prepares still work.
+	if _, err := c.Execute(q, nil); err != nil {
+		t.Fatalf("session should survive unknown-stmt errors: %v", err)
+	}
+	id2, err := c.PrepareStmt(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteStmt(id2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Errors; got < 2 {
+		t.Errorf("server Errors = %d, want >= 2 (two unknown-stmt executions)", got)
+	}
+}
+
+// TestPrepareBadSQLKeepsSession: a prepare whose SQL does not parse gets a
+// CodeQueryError error frame — a query-level failure, not a protocol
+// violation — and the session keeps serving.
+func TestPrepareBadSQLKeepsSession(t *testing.T) {
+	s := startServer(t, testBackend(t, 10), Config{})
+	c := rawDial(t, s)
+	mustHandshake(t, c)
+
+	payload, err := queryPayload(1, "PREPARE ME GARBAGE", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(c, framePrepare, payload); err != nil {
+		t.Fatal(err)
+	}
+	tag, reply, err := readFrame(c)
+	if err != nil || tag != frameError {
+		t.Fatalf("tag=%#x err=%v, want an error frame", tag, err)
+	}
+	if _, re, _ := parseError(reply); re == nil || re.Code != CodeQueryError {
+		t.Fatalf("reply %v, want CodeQueryError", re)
+	}
+
+	// A well-formed prepare on the same session still acks.
+	good, err := queryPayload(2, "SELECT k FROM t", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(c, framePrepare, good); err != nil {
+		t.Fatal(err)
+	}
+	tag, reply, err = readFrame(c)
+	if err != nil || tag != framePrepareOK {
+		t.Fatalf("tag=%#x err=%v, want prepare-ok", tag, err)
+	}
+	if id, err := parsePrepareOK(reply); err != nil || id != 2 {
+		t.Fatalf("prepare-ok id=%d err=%v", id, err)
+	}
+}
+
+// TestMalformedPreparedFrames: protocol-level garbage in the new frames
+// tears the session down with a typed error, like malformed query frames.
+func TestMalformedPreparedFrames(t *testing.T) {
+	cases := []struct {
+		tag     byte
+		payload []byte
+	}{
+		{framePrepare, []byte{}},
+		{framePrepare, []byte{0, 0, 0, 1}},
+		{frameExecStmt, []byte{}},
+		{frameExecStmt, make([]byte, 12)},
+		{frameExecStmt, append(make([]byte, 16), 0xff, 0xff, 0xff, 0xff)},
+		{frameCloseStmt, []byte{1, 2, 3}},
+	}
+	s := startServer(t, testBackend(t, 10), Config{})
+	for i, tc := range cases {
+		c := rawDial(t, s)
+		mustHandshake(t, c)
+		if err := writeFrame(c, tc.tag, tc.payload); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		tag, reply, err := readFrame(c)
+		if err != nil || tag != frameError {
+			t.Fatalf("case %d: tag=%#x err=%v, want an error frame", i, tag, err)
+		}
+		if _, re, perr := parseError(reply); perr != nil || re.Code != CodeProtocol {
+			t.Fatalf("case %d: reply %v, want CodeProtocol", i, re)
+		}
+		expectClosed(t, c)
+		c.Close()
+	}
+}
+
+// TestPreparedConcurrentClients: several sessions each prepare and
+// re-execute their own statements concurrently; ids are per-session and
+// must not bleed. Run with -race.
+func TestPreparedConcurrentClients(t *testing.T) {
+	backend := testBackend(t, 200)
+	s := startServer(t, backend, Config{})
+
+	const clients = 6
+	const rounds = 5
+	errs := make(chan error, clients)
+	done := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		go func(id int) {
+			defer func() { done <- struct{}{} }()
+			c, err := Dial(s.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			q := sqlparser.MustParse(fmt.Sprintf(`SELECT v FROM t WHERE k = %d AND v >= :lo ORDER BY v`, id%7))
+			sid, err := c.PrepareStmt(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				params := map[string]value.Value{"lo": value.NewInt(int64(r * 20))}
+				got, err := c.ExecuteStmt(sid, params)
+				if err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", id, r, err)
+					return
+				}
+				want, err := backend.Execute(q, params)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got.Result.Rows) != len(want.Result.Rows) {
+					errs <- fmt.Errorf("client %d round %d: %d rows, want %d (cross-session bleed?)",
+						id, r, len(got.Result.Rows), len(want.Result.Rows))
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		<-done
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.Stats().StmtExecs; got != clients*rounds {
+		t.Errorf("server StmtExecs = %d, want %d", got, clients*rounds)
+	}
+}
+
+// FuzzPreparedFrames: the prepared-statement payload parsers must never
+// panic on arbitrary bytes.
+func FuzzPreparedFrames(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(prepareOKPayload(7))
+	f.Add(closeStmtPayload(9))
+	if p, err := execStmtPayload(3, 7, map[string]value.Value{"lo": value.NewInt(5)}, []string{"lo"}); err == nil {
+		f.Add(p)
+	}
+	if p, err := queryPayload(1, "SELECT k FROM t WHERE v = :tp0", nil, nil); err == nil {
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsePrepareOK(data)
+		parseExecStmt(data)
+		parseCloseStmt(data)
+	})
+}

@@ -269,6 +269,14 @@ type Options struct {
 	// row order, or encodings; the float SUM/AVG last-ULP caveat on
 	// Parallelism is the only exception and is independent of BatchSize.
 	BatchSize int
+	// PaillierPool precomputes Paillier encryption randomness (the
+	// plaintext-independent r^N mod N² blinding factors) on background
+	// goroutines, so hot-path HOM encryptions — database encryption and
+	// per-execution parameter rebinding — cost one multiply instead of a
+	// modular exponentiation. Ciphertexts are byte-compatible with unpooled
+	// encryption. Off by default; when enabled, call System.Close to join
+	// the pool workers.
+	PaillierPool bool
 	// StreamWire streams results across the trust boundary: the untrusted
 	// server frames encrypted batches onto the wire mid-scan and the
 	// trusted client decrypts each arriving batch on Parallelism workers,
@@ -303,6 +311,9 @@ type System struct {
 	// conn is the dialed transport session when this System came from
 	// ConnectRemote (nil for in-process deployments).
 	conn *transport.Conn
+	// ownsKeys marks the System that created the key store (Encrypt);
+	// remote Systems share it and must not tear it down on Close.
+	ownsKeys bool
 }
 
 // Encrypt runs the designer over the workload, encrypts the database, and
@@ -324,6 +335,9 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 	ks, err := enc.NewKeyStore(opts.MasterKey, opts.PaillierBits)
 	if err != nil {
 		return nil, err
+	}
+	if opts.PaillierPool {
+		ks.EnablePaillierPool(128, 2)
 	}
 	cost := planner.DefaultCostModel(net)
 	if opts.ProfileCosts {
@@ -351,7 +365,7 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 	cl := client.New(ks, srv, dres.Context, net)
 	sys := &System{
 		db: db, keys: ks, design: dres, encDB: encDB, client: cl,
-		plain: engine.New(db.cat), net: net,
+		plain: engine.New(db.cat), net: net, ownsKeys: true,
 	}
 	sys.SetParallelism(opts.Parallelism)
 	sys.SetBatchSize(opts.BatchSize)
@@ -451,9 +465,16 @@ func (s *System) remoteSystem(conn *transport.Conn) *System {
 	}
 }
 
-// Close releases the System's network session, if any. In-process
-// deployments have nothing to close.
+// Close releases the System's resources: cached plans (and their remote
+// prepared-statement handles), the Paillier randomness pool workers (if
+// Options.PaillierPool enabled them — only on the System that Encrypt
+// returned, since remote Systems share its key store), and the network
+// session, if any.
 func (s *System) Close() error {
+	s.client.Close()
+	if s.ownsKeys {
+		s.keys.Close()
+	}
 	if s.conn != nil {
 		return s.conn.Close()
 	}
@@ -481,6 +502,10 @@ type Rows struct {
 	TimeToFirstRow float64
 	WireBytes      int64
 	PlanText       string
+	// PlanCacheHit reports that this execution reused a cached plan
+	// template (rebinding only the parameters) instead of planning from
+	// scratch.
+	PlanCacheHit bool
 }
 
 // Total returns the end-to-end simulated latency in seconds.
@@ -492,6 +517,10 @@ func (s *System) Query(sql string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	return rowsFromResult(res), nil
+}
+
+func rowsFromResult(res *client.Result) *Rows {
 	out := &Rows{
 		Cols:           res.Cols,
 		ServerTime:     res.ServerTime.Seconds(),
@@ -500,6 +529,7 @@ func (s *System) Query(sql string) (*Rows, error) {
 		TimeToFirstRow: res.TimeToFirstRow.Seconds(),
 		WireBytes:      res.WireBytes,
 		PlanText:       res.Plan.Describe(),
+		PlanCacheHit:   res.PlanCacheHit,
 	}
 	for _, row := range res.Rows {
 		vals := make([]any, len(row))
@@ -508,8 +538,104 @@ func (s *System) Query(sql string) (*Rows, error) {
 		}
 		out.Data = append(out.Data, vals)
 	}
-	return out, nil
+	return out
 }
+
+// Stmt is a prepared statement bound to a System: parse once, execute many
+// times with different parameter values. Repeated executions of the same
+// parameter-kind combination reuse a cached plan template (only the
+// parameters are re-encrypted), and on a remote System the RemoteSQL is
+// registered server-side once and re-executed by statement id.
+type Stmt struct {
+	st *client.Stmt
+}
+
+// Prepare parses a SQL query for repeated execution. Parameters appear in
+// the SQL as :name placeholders.
+func (s *System) Prepare(sql string) (*Stmt, error) {
+	st, err := s.client.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{st: st}, nil
+}
+
+// Query executes the statement with one set of parameter values. Values
+// may be int, int64, float64, string, bool, []byte, or nil (NULL); use
+// DateParam for date-typed parameters.
+func (st *Stmt) Query(params map[string]any) (*Rows, error) {
+	vals := make(map[string]value.Value, len(params))
+	for name, v := range params {
+		cv, err := paramValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("monomi: parameter %s: %w", name, err)
+		}
+		vals[name] = cv
+	}
+	res, err := st.st.Execute(vals)
+	if err != nil {
+		return nil, err
+	}
+	return rowsFromResult(res), nil
+}
+
+// SQL returns the statement's source text.
+func (st *Stmt) SQL() string { return st.st.SQL() }
+
+// Close releases the statement.
+func (st *Stmt) Close() error { return st.st.Close() }
+
+// DateParam converts a "YYYY-MM-DD" string into a date-typed parameter
+// value for Stmt.Query.
+func DateParam(s string) (any, error) {
+	d, err := value.ParseDate(s)
+	if err != nil {
+		return nil, err
+	}
+	return value.NewDate(d), nil
+}
+
+// paramValue converts a Go value into a query parameter.
+func paramValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.NewNull(), nil
+	case value.Value:
+		return x, nil
+	case bool:
+		return value.NewBool(x), nil
+	case int:
+		return value.NewInt(int64(x)), nil
+	case int64:
+		return value.NewInt(x), nil
+	case float64:
+		return value.NewFloat(x), nil
+	case string:
+		return value.NewStr(x), nil
+	case []byte:
+		return value.NewBytes(x), nil
+	}
+	return value.Value{}, fmt.Errorf("unsupported parameter type %T", v)
+}
+
+// PlanCacheStats reports the client plan cache's counters.
+type PlanCacheStats struct {
+	Hits      int64 // executions that reused a cached template
+	Misses    int64 // executions that planned from scratch
+	Evictions int64 // entries dropped under capacity pressure
+	Size      int   // entries currently cached
+}
+
+// PlanCacheStats returns the trusted client's plan-cache counters.
+func (s *System) PlanCacheStats() PlanCacheStats {
+	st := s.client.PlanCacheStats()
+	return PlanCacheStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Size: st.Size}
+}
+
+// ResetPlanCache drops every cached plan and parsed query, forcing
+// subsequent executions to plan from scratch (counters are kept).
+// Benchmarks use it to compare cold planning against the warm fast path.
+func (s *System) ResetPlanCache() { s.client.ResetPlanCache() }
 
 // QueryPlaintext executes SQL directly on the plaintext database (the
 // unencrypted baseline used for comparisons).
