@@ -20,7 +20,7 @@ import (
 
 // concurrentScenario builds ev(e_id, e_grp, e_val) with `rows` rows,
 // serves it on loopback, and sweeps client counts up to maxClients.
-func concurrentScenario(rows, maxClients, par, batch int) error {
+func concurrentScenario(rows, maxClients, par, batch int, sink *jsonSink) error {
 	if batch <= 0 {
 		batch = 64
 	}
@@ -83,6 +83,10 @@ func concurrentScenario(rows, maxClients, par, batch int) error {
 		}
 		fmt.Printf("%-8d %10d %12.1f %12.2f %12.2f\n",
 			n, n*queriesPerClient, qps, p50, p99)
+		sink.add(map[string]any{
+			"exp": "concurrent", "clients": n, "queries": n * queriesPerClient,
+			"qps": qps, "p50_ms": p50, "p99_ms": p99,
+		})
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package main
+
+// Machine-readable benchmark output (-json <file>): scenarios append flat
+// records to a shared sink, and main writes them as one JSON array when the
+// run finishes. Each record carries an "exp" tag plus the scenario's own
+// fields (qps, latency percentiles, index stats, ...), so downstream
+// tooling can diff runs without scraping the human tables.
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// jsonSink collects benchmark records. A nil sink (no -json flag) is valid
+// and drops everything, so scenarios call add unconditionally.
+type jsonSink struct {
+	path string
+	rows []map[string]any
+}
+
+func newJSONSink(path string) *jsonSink {
+	if path == "" {
+		return nil
+	}
+	return &jsonSink{path: path}
+}
+
+func (s *jsonSink) add(row map[string]any) {
+	if s == nil {
+		return
+	}
+	s.rows = append(s.rows, row)
+}
+
+func (s *jsonSink) flush() error {
+	if s == nil {
+		return nil
+	}
+	b, err := json.MarshalIndent(s.rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(s.path, b, 0o644)
+}

@@ -14,7 +14,11 @@
 //	monomi-bench -exp stream          # grouped + DISTINCT streamed-wire scenario
 //	monomi-bench -exp concurrent      # multi-client served deployment over loopback TCP
 //	monomi-bench -exp repeat          # warm-vs-cold repeated-query hot path
+//	monomi-bench -exp index           # secondary-index selectivity sweep vs full scans
 //	monomi-bench -exp all
+//
+// -json <file> additionally writes the index/repeat/concurrent scenario
+// results as a machine-readable JSON array.
 package main
 
 import (
@@ -28,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|concurrent|repeat|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|concurrent|repeat|index|all")
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	bits := flag.Int("paillier", 512, "Paillier modulus bits (paper: 1024)")
@@ -43,7 +47,12 @@ func main() {
 	repeatRows := flag.Int("repeatrows", 20000, "input rows for the repeated-query scenario (-exp repeat)")
 	repeatIters := flag.Int("repeatiters", 30, "timed executions per mode for the repeated-query scenario (-exp repeat)")
 	repeatPool := flag.Bool("paillierpool", true, "precompute Paillier randomness in a background pool (-exp repeat)")
+	indexRows := flag.Int("indexrows", 200000, "table rows for the index selectivity sweep (-exp index)")
+	indexIters := flag.Int("indexiters", 7, "timed executions per sweep point (-exp index)")
+	jsonPath := flag.String("json", "", "write index/repeat/concurrent results to this file as JSON")
 	flag.Parse()
+
+	sink := newJSONSink(*jsonPath)
 
 	scale := tpch.ScaleFactor(*sf)
 	needSuite := map[string]bool{"fig4": true, "fig7": true, "table2": true, "table3": true, "stats": true, "all": true}
@@ -114,11 +123,15 @@ func main() {
 				log.Fatal(err)
 			}
 		case "concurrent":
-			if err := concurrentScenario(*concRows, *clients, *par, *batch); err != nil {
+			if err := concurrentScenario(*concRows, *clients, *par, *batch, sink); err != nil {
 				log.Fatal(err)
 			}
 		case "repeat":
-			if err := repeatScenario(*repeatRows, *repeatIters, *par, *batch, *repeatPool); err != nil {
+			if err := repeatScenario(*repeatRows, *repeatIters, *par, *batch, *repeatPool, sink); err != nil {
+				log.Fatal(err)
+			}
+		case "index":
+			if err := indexScenario(*indexRows, *indexIters, *par, *batch, sink); err != nil {
 				log.Fatal(err)
 			}
 		default:
@@ -131,7 +144,10 @@ func main() {
 			fmt.Printf("==== %s ====\n", name)
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if err := sink.flush(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -29,7 +29,7 @@ type repeatShape struct {
 
 // repeatScenario builds ev(e_id, e_grp, e_val) with `rows` rows and sweeps
 // cold/warm × in-process/wire over parameterized shapes.
-func repeatScenario(rows, iters, par, batch int, pool bool) error {
+func repeatScenario(rows, iters, par, batch int, pool bool, sink *jsonSink) error {
 	if batch < 0 {
 		batch = 0
 	}
@@ -120,6 +120,10 @@ func repeatScenario(rows, iters, par, batch int, pool bool) error {
 			}{{"cold", cold}, {"warm", warm}} {
 				fmt.Printf("%-10s %-10s %-6s %10.1f %12.2f %12.2f %9.0f%%\n",
 					sh.name, d.name, r.path, r.m.qps, r.m.p50, r.m.p99, r.m.hitRate*100)
+				sink.add(map[string]any{
+					"exp": "repeat", "shape": sh.name, "deploy": d.name, "path": r.path,
+					"qps": r.m.qps, "p50_ms": r.m.p50, "p99_ms": r.m.p99, "hit_rate": r.m.hitRate,
+				})
 			}
 		}
 	}

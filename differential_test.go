@@ -389,3 +389,71 @@ func TestDifferentialShardedStream(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialIndexInvariance is the access-path dimension of the grid:
+// the same queries with secondary indexes off (every scan reads the whole
+// table) and on (DET hash probes, OPE range probes, ordered emission,
+// index-served join builds — whenever the cost rule picks them) must be
+// byte-identical, across parallelism × batch size × wire. The index-off
+// sequential materialized run is the baseline.
+func TestDifferentialIndexInvariance(t *testing.T) {
+	sys := diffSystem(t)
+	queries := genQueries(rand.New(rand.NewSource(diffSeed+4)), 12)
+	queries = append(queries, genJoinQueries(rand.New(rand.NewSource(diffSeed+5)), 5)...)
+	sys.SetIndexes(false)
+	sys.SetParallelism(1)
+	sys.SetBatchSize(0)
+	sys.SetStreamWire(false)
+	base := make([][]string, len(queries))
+	plainBase := make([][]string, len(queries))
+	for i, q := range queries {
+		res, err := sys.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", q.sql, err)
+		}
+		base[i] = canonicalRows(t, res.Data, true)
+		p, err := sys.QueryPlaintext(q.sql)
+		if err != nil {
+			t.Fatalf("plaintext %s: %v", q.sql, err)
+		}
+		plainBase[i] = canonicalRows(t, p.Data, true)
+	}
+	for _, idx := range []bool{false, true} {
+		sys.SetIndexes(idx)
+		for _, par := range []int{1, 4} {
+			sys.SetParallelism(par)
+			for _, bs := range diffBatchSizes {
+				sys.SetBatchSize(bs)
+				for _, sw := range diffStreamWire {
+					if !idx && par == 1 && bs == 0 && !sw {
+						continue // the baseline itself
+					}
+					sys.SetStreamWire(sw)
+					for i, q := range queries {
+						res, err := sys.Query(q.sql)
+						if err != nil {
+							t.Fatalf("idx=%v p=%d bs=%d sw=%v %s: %v", idx, par, bs, sw, q.sql, err)
+						}
+						got := canonicalRows(t, res.Data, true)
+						if strings.Join(got, "\n") != strings.Join(base[i], "\n") {
+							t.Errorf("idx=%v p=%d bs=%d sw=%v %s diverges from index-off baseline:\n%v\nvs\n%v",
+								idx, par, bs, sw, q.sql, got, base[i])
+						}
+						p, err := sys.QueryPlaintext(q.sql)
+						if err != nil {
+							t.Fatalf("idx=%v plaintext %s: %v", idx, q.sql, err)
+						}
+						pg := canonicalRows(t, p.Data, true)
+						if strings.Join(pg, "\n") != strings.Join(plainBase[i], "\n") {
+							t.Errorf("idx=%v p=%d bs=%d sw=%v plaintext %s diverges:\n%v\nvs\n%v",
+								idx, par, bs, sw, q.sql, pg, plainBase[i])
+						}
+					}
+				}
+			}
+		}
+	}
+	if lookups, _ := func() (int64, int64) { s := sys.Stats(); return s.IndexLookups, s.RowsSkippedByIndex }(); lookups == 0 {
+		t.Fatalf("grid never exercised an index probe (IndexLookups = 0)")
+	}
+}

@@ -250,3 +250,86 @@ func TestHomGroupBinPacking(t *testing.T) {
 }
 
 var _ = ast.NewQuery // keep ast import for expression fixtures
+
+// TestEncryptDatabaseIndexesAndKey checks that encryption builds the
+// secondary indexes the schemes imply — a hash index per DET column, an
+// ordered index per OPE column — and propagates the plaintext primary key
+// onto its DET columns (deterministic encryption preserves equality, so
+// uniqueness carries over and the encrypted table enforces it).
+func TestEncryptDatabaseIndexesAndKey(t *testing.T) {
+	cat := storage.NewCatalog()
+	tbl, err := cat.Create(storage.Schema{
+		Name: "t",
+		Cols: []storage.Column{
+			{Name: "k", Type: storage.TInt},
+			{Name: "v", Type: storage.TInt},
+		},
+		Key: []string{"k"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		tbl.MustInsert([]value.Value{value.NewInt(i), value.NewInt(i % 5)})
+	}
+	ks := testKeyStore(t)
+	design := &Design{}
+	design.Add(ColumnItem("t", "k", DET, value.Int))
+	design.Add(ColumnItem("t", "v", DET, value.Int))
+	design.Add(ColumnItem("t", "v", OPE, value.Int))
+
+	db, err := EncryptDatabase(cat, design, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := db.Cat.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix := et.Index("k_det", storage.HashIndex); ix == nil || ix.Len() != 20 {
+		t.Errorf("k_det hash index = %v", ix)
+	}
+	if ix := et.Index("v_det", storage.HashIndex); ix == nil {
+		t.Error("v_det hash index missing")
+	}
+	if ix := et.Index("v_ope", storage.OrderedIndex); ix == nil || ix.Len() != 20 {
+		t.Errorf("v_ope ordered index = %v", ix)
+	}
+	if got := et.Schema.Key; len(got) != 1 || got[0] != "k_det" {
+		t.Errorf("encrypted key = %v, want [k_det]", got)
+	}
+	if !et.HasKey() {
+		t.Error("encrypted table does not enforce its key")
+	}
+	// A duplicate encrypted key must be rejected like a plaintext one.
+	dup := make([]value.Value, len(et.Schema.Cols))
+	copy(dup, et.Rows[0])
+	if err := et.Insert(dup); err == nil {
+		t.Error("duplicate DET key insert succeeded")
+	}
+
+	// Without a DET item on every key column, no key propagates.
+	cat2 := storage.NewCatalog()
+	t2, err := cat2.Create(storage.Schema{
+		Name: "u",
+		Cols: []storage.Column{{Name: "k", Type: storage.TInt}},
+		Key:  []string{"k"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2.MustInsert([]value.Value{value.NewInt(1)})
+	d2 := &Design{}
+	d2.Add(ColumnItem("u", "k", OPE, value.Int))
+	db2, err := EncryptDatabase(cat2, d2, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu, err := db2.Cat.Table("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eu.HasKey() {
+		t.Error("key propagated without DET coverage")
+	}
+}

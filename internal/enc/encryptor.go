@@ -218,9 +218,28 @@ func encryptTable(db *DB, eng *engine.Engine, plain *storage.Catalog, design *De
 		}
 		schema.Cols = append(schema.Cols, storage.Column{Name: it.ColumnName(), Type: typ})
 	}
+	schema.Key = encryptedKey(plain, tbl, rowItems)
 	encTable, err := db.Cat.Create(schema)
 	if err != nil {
 		return err
+	}
+
+	// Secondary indexes on the encrypted columns (built empty here; Insert
+	// maintains them incrementally): DET equality preserves plaintext
+	// equality, so a hash index answers `=`/`IN` probes and hash-join
+	// builds; OPE preserves plaintext order, so an ordered index answers
+	// range predicates and prefix ORDER BY.
+	for i := range rowItems {
+		it := &rowItems[i]
+		switch it.Scheme {
+		case DET:
+			_, err = encTable.EnsureIndex(it.ColumnName(), storage.HashIndex)
+		case OPE:
+			_, err = encTable.EnsureIndex(it.ColumnName(), storage.OrderedIndex)
+		}
+		if err != nil {
+			return err
+		}
 	}
 
 	// Encrypt row items.
@@ -274,4 +293,36 @@ func encryptTable(db *DB, eng *engine.Engine, plain *storage.Catalog, design *De
 		meta.Groups = append(meta.Groups, &GroupMeta{Name: gname, Items: gItems, Layout: layout})
 	}
 	return nil
+}
+
+// encryptedKey maps the plaintext table's primary key onto the encrypted
+// schema: when every key column carries a DET item (deterministic
+// encryption preserves equality, so plaintext uniqueness carries over), the
+// encrypted table declares the corresponding `<col>_det` columns as its
+// key and enforces the same uniqueness on load. Any gap — no plaintext
+// key, or a key column without DET — yields no key.
+func encryptedKey(plain *storage.Catalog, tbl string, rowItems []Item) []string {
+	pt, err := plain.Table(tbl)
+	if err != nil || len(pt.Schema.Key) == 0 {
+		return nil
+	}
+	key := make([]string, 0, len(pt.Schema.Key))
+	for _, kc := range pt.Schema.Key {
+		found := ""
+		for i := range rowItems {
+			it := &rowItems[i]
+			if it.Scheme != DET {
+				continue
+			}
+			if cr, ok := it.Expr.(*ast.ColumnRef); ok && cr.Column == kc {
+				found = it.ColumnName()
+				break
+			}
+		}
+		if found == "" {
+			return nil
+		}
+		key = append(key, found)
+	}
+	return key
 }

@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// accessFixture builds ev(e_id, e_cat, e_val, e_opt) with seeded random
+// rows — including NULLs in the indexed columns — plus a dimension table
+// dim(d_cat, d_w) for join-build coverage, and indexes: a hash index on
+// e_cat and d_cat (equality/IN/join), an ordered index on e_val (ranges,
+// ORDER BY). 600 rows is enough for sharding and multi-batch streaming.
+func accessFixture(t *testing.T) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	cat := storage.NewCatalog()
+	ev, err := cat.Create(storage.Schema{
+		Name: "ev",
+		Cols: []storage.Column{
+			{Name: "e_id", Type: storage.TInt},
+			{Name: "e_cat", Type: storage.TStr},
+			{Name: "e_val", Type: storage.TInt},
+			{Name: "e_opt", Type: storage.TInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"ale", "bock", "cider", "dubbel"}
+	for i := 0; i < 600; i++ {
+		c := value.NewStr(cats[rng.Intn(len(cats))])
+		v := value.NewInt(rng.Int63n(1000))
+		if rng.Intn(20) == 0 {
+			c = value.Value{} // NULL key: indexed predicates must skip it
+		}
+		if rng.Intn(20) == 0 {
+			v = value.Value{}
+		}
+		ev.MustInsert([]value.Value{value.NewInt(int64(i)), c, v, value.NewInt(rng.Int63n(7))})
+	}
+	if _, err := ev.EnsureIndex("e_cat", storage.HashIndex); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.EnsureIndex("e_val", storage.OrderedIndex); err != nil {
+		t.Fatal(err)
+	}
+	dim, err := cat.Create(storage.Schema{
+		Name: "dim",
+		Cols: []storage.Column{
+			{Name: "d_cat", Type: storage.TStr},
+			{Name: "d_w", Type: storage.TInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range append(cats, "stray") {
+		dim.MustInsert([]value.Value{value.NewStr(c), value.NewInt(int64(i))})
+		if i%2 == 0 { // duplicate build keys
+			dim.MustInsert([]value.Value{value.NewStr(c), value.NewInt(int64(i + 10))})
+		}
+	}
+	dim.MustInsert([]value.Value{{}, value.NewInt(99)}) // NULL build key
+	if _, err := dim.EnsureIndex("d_cat", storage.HashIndex); err != nil {
+		t.Fatal(err)
+	}
+	return New(cat)
+}
+
+// renderResult canonicalizes a result verbatim: rows, order, and encodings
+// all participate in the comparison.
+func renderAccess(res *Result) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Cols, ","))
+	for _, row := range res.Rows {
+		b.WriteByte('\n')
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.HashKey())
+		}
+	}
+	return b.String()
+}
+
+// accessShapes are the query shapes the index paths can serve (plus shapes
+// that must fall back), each run with and without indexes.
+var accessShapes = []string{
+	// DET hash probes
+	`SELECT e_id, e_val FROM ev WHERE e_cat = 'ale'`,
+	`SELECT COUNT(*) FROM ev WHERE e_cat = 'bock' AND e_val > 500`,
+	`SELECT e_id FROM ev WHERE e_cat IN ('ale', 'cider') AND e_opt < 3`,
+	`SELECT e_id FROM ev WHERE 'dubbel' = e_cat`,
+	// OPE range probes
+	`SELECT e_id FROM ev WHERE e_val < 40`,
+	`SELECT e_id, e_cat FROM ev WHERE e_val BETWEEN 100 AND 160`,
+	`SELECT COUNT(*), SUM(e_val) FROM ev WHERE e_val >= 960`,
+	`SELECT e_id FROM ev WHERE 120 >= e_val AND e_opt = 2`,
+	// NULL-bound predicates match nothing, with or without indexes
+	`SELECT e_id FROM ev WHERE e_cat = NULL`,
+	`SELECT e_id FROM ev WHERE e_val < NULL`,
+	// unselective: the cost rule must keep the scan
+	`SELECT e_id FROM ev WHERE e_val >= 0`,
+	`SELECT COUNT(*) FROM ev WHERE e_val <= 999`,
+	// grouped and DISTINCT over an index-restricted source
+	`SELECT e_cat, COUNT(*), SUM(e_val) FROM ev WHERE e_val < 300 GROUP BY e_cat ORDER BY e_cat`,
+	`SELECT DISTINCT e_opt FROM ev WHERE e_cat = 'ale'`,
+	// ordered emission and top-N
+	`SELECT e_id, e_val FROM ev ORDER BY e_val`,
+	`SELECT e_id, e_val FROM ev ORDER BY e_val DESC`,
+	`SELECT e_id, e_val FROM ev WHERE e_cat = 'cider' ORDER BY e_val, e_id LIMIT 9`,
+	// join: build side served from dim's hash index
+	`SELECT e_id, d_w FROM ev, dim WHERE e_cat = d_cat AND e_val < 150`,
+	`SELECT d_cat, COUNT(*) FROM ev, dim WHERE e_cat = d_cat GROUP BY d_cat ORDER BY d_cat`,
+}
+
+// TestAccessPathEquivalence pins every shape's result across UseIndexes ×
+// Parallelism × BatchSize against the index-off sequential materialized
+// baseline — the engine-level version of the byte-identity contract.
+func TestAccessPathEquivalence(t *testing.T) {
+	e := accessFixture(t)
+	base := make(map[string]string)
+	e.UseIndexes = false
+	e.Parallelism = 1
+	e.BatchSize = 0
+	for _, sql := range accessShapes {
+		base[sql] = renderAccess(run(t, e, sql, nil))
+	}
+	for _, idx := range []bool{false, true} {
+		e.UseIndexes = idx
+		for _, par := range []int{1, 4} {
+			e.Parallelism = par
+			for _, bs := range []int{0, 32} {
+				e.BatchSize = bs
+				for _, sql := range accessShapes {
+					got := renderAccess(run(t, e, sql, nil))
+					if got != base[sql] {
+						t.Errorf("idx=%v p=%d bs=%d %s diverges:\n%s\nvs\n%s", idx, par, bs, sql, got, base[sql])
+					}
+				}
+			}
+		}
+	}
+	if lookups, _ := e.IndexStats(); lookups == 0 {
+		t.Fatal("no index probe was ever taken")
+	}
+}
+
+// TestAccessPathStreaming pins the streaming API the same way: every shape
+// consumed through ExecuteStream with indexes on must equal the
+// materialized index-off result, across parallelism and batch size.
+func TestAccessPathStreaming(t *testing.T) {
+	e := accessFixture(t)
+	e.UseIndexes = false
+	e.Parallelism = 1
+	e.BatchSize = 0
+	base := make(map[string]string)
+	for _, sql := range accessShapes {
+		base[sql] = renderAccess(run(t, e, sql, nil))
+	}
+	e.UseIndexes = true
+	for _, par := range []int{1, 4} {
+		e.Parallelism = par
+		for _, bs := range []int{16, 128} {
+			e.BatchSize = bs
+			for _, sql := range accessShapes {
+				q, err := sqlparser.Parse(sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := e.ExecuteStream(q, nil)
+				if err != nil {
+					t.Fatalf("p=%d bs=%d %s: %v", par, bs, sql, err)
+				}
+				res := &Result{Cols: s.Cols()}
+				for {
+					b, err := s.Next()
+					if err != nil {
+						t.Fatalf("p=%d bs=%d %s: %v", par, bs, sql, err)
+					}
+					if b == nil {
+						break
+					}
+					res.Rows = append(res.Rows, b...)
+				}
+				if got := renderAccess(res); got != base[sql] {
+					t.Errorf("p=%d bs=%d stream %s diverges:\n%s\nvs\n%s", par, bs, sql, got, base[sql])
+				}
+			}
+		}
+	}
+}
+
+// TestIndexCharging checks the cost model's visible side: a selective probe
+// charges index lookups, skips most of the scan, and reads proportionally
+// fewer bytes; an unselective range keeps the full scan and charges nothing.
+func TestIndexCharging(t *testing.T) {
+	e := accessFixture(t)
+	e.UseIndexes = true
+	full := run(t, e, `SELECT COUNT(*) FROM ev WHERE e_val >= 0`, nil)
+	if full.Stats.IndexLookups != 0 || full.Stats.RowsSkippedByIndex != 0 {
+		t.Errorf("unselective range used the index: %+v", full.Stats)
+	}
+	if full.Stats.RowsScanned != 600 {
+		t.Errorf("full scan read %d rows, want 600", full.Stats.RowsScanned)
+	}
+	sel := run(t, e, `SELECT e_id FROM ev WHERE e_cat = 'ale'`, nil)
+	if sel.Stats.IndexLookups != 1 {
+		t.Errorf("IndexLookups = %d, want 1", sel.Stats.IndexLookups)
+	}
+	k := sel.Stats.RowsScanned
+	if k == 0 || k >= 600 {
+		t.Fatalf("index scan read %d rows", k)
+	}
+	if sel.Stats.RowsSkippedByIndex != 600-k {
+		t.Errorf("RowsSkippedByIndex = %d, want %d", sel.Stats.RowsSkippedByIndex, 600-k)
+	}
+	if sel.Stats.BytesScanned >= full.Stats.BytesScanned {
+		t.Errorf("index scan charged %d bytes, full scan %d", sel.Stats.BytesScanned, full.Stats.BytesScanned)
+	}
+	lookups, skipped := e.IndexStats()
+	if lookups != 1 || skipped != 600-k {
+		t.Errorf("cumulative counters = (%d, %d), want (1, %d)", lookups, skipped, 600-k)
+	}
+}
+
+// TestAccessHintScan checks the planner's negative hint: AccessScan
+// suppresses index resolution even for a selective probe. An AccessIndex
+// hint stays advisory — the engine still takes the index only when its own
+// cost rule agrees.
+func TestAccessHintScan(t *testing.T) {
+	e := accessFixture(t)
+	e.UseIndexes = true
+	q, err := sqlparser.Parse(`SELECT e_id FROM ev WHERE e_cat = 'ale'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Hint = &ast.AccessHint{Path: ast.AccessScan}
+	res, err := e.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IndexLookups != 0 || res.Stats.RowsScanned != 600 {
+		t.Errorf("AccessScan hint did not suppress the index: %+v", res.Stats)
+	}
+	q.Hint = &ast.AccessHint{Path: ast.AccessIndex, Column: "e_cat"}
+	res, err = e.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IndexLookups != 1 {
+		t.Errorf("AccessIndex hint: %+v", res.Stats)
+	}
+}
+
+// TestAccessParams checks parameter-bound sargable predicates: the probe
+// value arrives at execution time, and a NaN parameter disables the index
+// without changing results.
+func TestAccessParams(t *testing.T) {
+	e := accessFixture(t)
+	params := map[string]value.Value{"c": value.NewStr("bock"), "v": value.NewInt(200)}
+	e.UseIndexes = false
+	want := renderAccess(run(t, e, `SELECT e_id FROM ev WHERE e_cat = :c AND e_val < :v`, params))
+	e.UseIndexes = true
+	res := run(t, e, `SELECT e_id FROM ev WHERE e_cat = :c AND e_val < :v`, params)
+	if got := renderAccess(res); got != want {
+		t.Errorf("param probe diverges:\n%s\nvs\n%s", got, want)
+	}
+	if res.Stats.IndexLookups == 0 {
+		t.Error("param-bound predicate did not probe the index")
+	}
+	nan := map[string]value.Value{"v": value.NewFloat(fmtNaN())}
+	r2 := run(t, e, `SELECT COUNT(*) FROM ev WHERE e_val < :v`, nan)
+	if r2.Stats.IndexLookups != 0 {
+		t.Errorf("NaN constant must not probe the index: %+v", r2.Stats)
+	}
+}
+
+func fmtNaN() float64 {
+	var f float64
+	return f / f * 0 // NaN via 0/0; avoids importing math just for this
+}
+
+// TestOrderedEmissionStability pins ordered emission against the sort:
+// ascending (NULLs first) and descending (NULLs last) with duplicate keys,
+// where row id must break ties exactly like the stable sort.
+func TestOrderedEmissionStability(t *testing.T) {
+	e := accessFixture(t)
+	e.UseIndexes = false
+	wantAsc := renderAccess(run(t, e, `SELECT e_id, e_val FROM ev ORDER BY e_val`, nil))
+	wantDesc := renderAccess(run(t, e, `SELECT e_id, e_val FROM ev ORDER BY e_val DESC`, nil))
+	e.UseIndexes = true
+	asc := run(t, e, `SELECT e_id, e_val FROM ev ORDER BY e_val`, nil)
+	if got := renderAccess(asc); got != wantAsc {
+		t.Errorf("ordered emission asc diverges")
+	}
+	if asc.Stats.IndexLookups != 1 {
+		t.Errorf("asc emission did not use the ordered index: %+v", asc.Stats)
+	}
+	if got := renderAccess(run(t, e, `SELECT e_id, e_val FROM ev ORDER BY e_val DESC`, nil)); got != wantDesc {
+		t.Errorf("ordered emission desc diverges")
+	}
+}

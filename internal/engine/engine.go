@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/storage"
@@ -36,14 +37,16 @@ import (
 // falls back to a materialized operator mid-query (ORDER BY, DISTINCT)
 // hands over the already-charged rows without re-scanning them.
 type Stats struct {
-	BytesScanned    int64 // heap-table bytes read by sequential scans
-	ExtraBytes      int64 // bytes read outside tables (Paillier pack files)
-	RowsScanned     int64 // rows produced by scans
-	RowsOut         int64 // rows in the final result
-	UDFNanos        int64 // wall time spent inside crypto UDFs
-	SubqueryRuns    int64 // number of subquery executions (incl. decorrelated)
-	RowsStreamed    int64 // rows that entered a batch pipeline from a streamed scan
-	BatchesStreamed int64 // batches emitted by streamed scans
+	BytesScanned       int64 // heap-table bytes read by sequential scans
+	ExtraBytes         int64 // bytes read outside tables (Paillier pack files)
+	RowsScanned        int64 // rows produced by scans
+	RowsOut            int64 // rows in the final result
+	UDFNanos           int64 // wall time spent inside crypto UDFs
+	SubqueryRuns       int64 // number of subquery executions (incl. decorrelated)
+	RowsStreamed       int64 // rows that entered a batch pipeline from a streamed scan
+	BatchesStreamed    int64 // batches emitted by streamed scans
+	IndexLookups       int64 // secondary-index probes (point, range, IN element, build)
+	RowsSkippedByIndex int64 // rows an index scan avoided reading vs the full scan
 }
 
 // Add accumulates other into s.
@@ -56,6 +59,8 @@ func (s *Stats) Add(o Stats) {
 	s.SubqueryRuns += o.SubqueryRuns
 	s.RowsStreamed += o.RowsStreamed
 	s.BatchesStreamed += o.BatchesStreamed
+	s.IndexLookups += o.IndexLookups
+	s.RowsSkippedByIndex += o.RowsSkippedByIndex
 }
 
 // Sub subtracts other from s — the delta between two cumulative snapshots
@@ -70,6 +75,8 @@ func (s *Stats) Sub(o Stats) {
 	s.SubqueryRuns -= o.SubqueryRuns
 	s.RowsStreamed -= o.RowsStreamed
 	s.BatchesStreamed -= o.BatchesStreamed
+	s.IndexLookups -= o.IndexLookups
+	s.RowsSkippedByIndex -= o.RowsSkippedByIndex
 }
 
 // Result is a fully materialized query result.
@@ -113,8 +120,27 @@ type Engine struct {
 	Cat         *storage.Catalog
 	Parallelism int
 	BatchSize   int
-	scalars     map[string]ScalarUDF
-	aggs        map[string]AggUDFFactory
+	// UseIndexes enables cost-based access-path selection (see access.go):
+	// single-table scans may restrict through a secondary index and join
+	// builds may serve probes from a hash index. Off by default — results
+	// are byte-identical either way, but scan statistics (and therefore
+	// simulated I/O time) shrink when an index path is taken. Like the
+	// other knobs, it must not change while queries are in flight.
+	UseIndexes bool
+	scalars    map[string]ScalarUDF
+	aggs       map[string]AggUDFFactory
+
+	// Cumulative index counters across every query this engine executed.
+	// The monomi layer surfaces these: per-query engine Stats never cross
+	// the remote wire, but the untrusted server's engine is long-lived.
+	cumIndexLookups atomic.Int64
+	cumRowsSkipped  atomic.Int64
+}
+
+// IndexStats returns the engine-lifetime index counters: total index
+// probes and total rows that index scans avoided reading.
+func (e *Engine) IndexStats() (lookups, rowsSkipped int64) {
+	return e.cumIndexLookups.Load(), e.cumRowsSkipped.Load()
 }
 
 // New creates an engine over the catalog.
@@ -170,9 +196,10 @@ func (e *Engine) IsAggUDF(name string) bool {
 func (e *Engine) Execute(q *ast.Query, params map[string]value.Value) (*Result, error) {
 	ctx := &execCtx{
 		eng: e, params: params, stats: &Stats{},
-		subq:  make(map[*ast.Query]*subqPlan),
-		par:   e.effectiveParallelism(),
-		batch: e.BatchSize,
+		subq:   make(map[*ast.Query]*subqPlan),
+		par:    e.effectiveParallelism(),
+		batch:  e.BatchSize,
+		useIdx: e.UseIndexes,
 	}
 	rel, err := ctx.execQuery(q, nil)
 	if err != nil {
@@ -192,8 +219,9 @@ type execCtx struct {
 	params map[string]value.Value
 	stats  *Stats
 	subq   map[*ast.Query]*subqPlan
-	par    int // worker count for sharded loops (1 = sequential)
-	batch  int // streamed-scan batch size (<= 0 = materialized)
+	par    int  // worker count for sharded loops (1 = sequential)
+	batch  int  // streamed-scan batch size (<= 0 = materialized)
+	useIdx bool // cost-based index access paths enabled (access.go)
 }
 
 // colInfo names one relation column.
@@ -206,6 +234,9 @@ type colInfo struct {
 type relation struct {
 	cols []colInfo
 	rows [][]value.Value
+	// base is non-nil only for an unfiltered base-table scan (rows aliases
+	// the table's rows 1:1); join builds may then use the table's indexes.
+	base *storage.Table
 }
 
 // indexOf resolves a (possibly qualified) column name. It returns -1 if the
@@ -238,6 +269,15 @@ func (c *execCtx) execQuery(q *ast.Query, outer *env) (*relation, error) {
 	out, handled, deduped, err := c.execStreamed(q, outer)
 	if err != nil {
 		return nil, err
+	}
+	if !handled {
+		// Materialized-mode index hook: a single-table query whose WHERE
+		// restricts through an index (or whose ORDER BY an ordered index
+		// can emit pre-sorted) fetches only the listed rows (access.go).
+		out, handled, err = c.execIndexed(q, outer)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !handled {
 		joined, err := c.execSource(q, outer)
@@ -320,7 +360,7 @@ func (c *execCtx) execFrom(f *ast.TableRef, outer *env) (*relation, error) {
 	for i, col := range t.Schema.Cols {
 		cols[i] = colInfo{table: f.RefName(), name: col.Name}
 	}
-	return &relation{cols: cols, rows: t.Rows}, nil
+	return &relation{cols: cols, rows: t.Rows, base: t}, nil
 }
 
 // isGrouped reports whether the query needs the aggregation path.

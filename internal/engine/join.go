@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -303,17 +304,35 @@ func (c *execCtx) filter(r *relation, pred ast.Expr, outer *env) (*relation, err
 	return &relation{cols: r.cols, rows: out}, nil
 }
 
-// joinBuild is a materialized hash-join build side, partitioned by key
-// hash. Each partition map is owned (built and read) without locks; a
-// key's rows live entirely in one partition, appended in build-side row
-// order, so probe output is independent of the partition count.
+// joinBuild is a hash-join build side: either a materialized map
+// partitioned by key hash, or (ix != nil) the base table's hash index
+// serving lookups directly, with no map ever built. Each partition map is
+// owned (built and read) without locks; a key's rows live entirely in one
+// partition, appended in build-side row order, so probe output is
+// independent of the partition count — and a posting list is ascending row
+// ids, which is the same order.
 type joinBuild struct {
 	cols  []colInfo
 	parts []map[string][][]value.Value
+	rows  [][]value.Value // index-backed build: the base relation's rows
+	ix    *storage.Index  // non-nil = lookups resolve through the index
 }
 
 // lookup returns the build rows matching one (non-NULL) probe key.
 func (b *joinBuild) lookup(key string) [][]value.Value {
+	if b.ix != nil {
+		// Single-key joinKey renders HashKey + one separator byte; the
+		// index posts under the bare HashKey.
+		ids := b.ix.PostingsKey(key[:len(key)-1])
+		if len(ids) == 0 {
+			return nil
+		}
+		out := make([][]value.Value, len(ids))
+		for i, id := range ids {
+			out[i] = b.rows[id]
+		}
+		return out
+	}
 	return b.parts[joinPartition(key, len(b.parts))][key]
 }
 
@@ -337,6 +356,9 @@ func joinPartition(key string, n int) int {
 // skipped), then one worker per partition collects the rows it owns,
 // scanning in row order.
 func (c *execCtx) buildJoinMap(right *relation, rightKeys []ast.Expr, outer *env) (*joinBuild, error) {
+	if b := c.indexedBuild(right, rightKeys); b != nil {
+		return b, nil
+	}
 	n := len(right.rows)
 	shards := c.shardCount(n)
 	if shards <= 1 || !parallelSafe(outer, rightKeys...) {

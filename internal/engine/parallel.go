@@ -94,7 +94,7 @@ func parallelDo(shards int, fn func(shard int) error) error {
 // batch size carries over so streamed shard workers pull the same batches
 // a sequential stream would.
 func (c *execCtx) shardCtx() *execCtx {
-	return &execCtx{eng: c.eng, params: c.params, stats: &Stats{}, subq: make(map[*ast.Query]*subqPlan), par: 1, batch: c.batch}
+	return &execCtx{eng: c.eng, params: c.params, stats: &Stats{}, subq: make(map[*ast.Query]*subqPlan), par: 1, batch: c.batch, useIdx: c.useIdx}
 }
 
 // shardedCollect splits n input rows into shards, runs fn over each shard

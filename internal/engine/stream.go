@@ -579,10 +579,12 @@ func (c *execCtx) accumulateJoinStream(q *ast.Query, specs []aggSpec, gs *groupS
 	}
 }
 
-// streamPipeline assembles scan → [filter] → [project] over t's rows
-// [lo,hi), evaluating on c (so a shard context accumulates its own stats).
-func (c *execCtx) streamPipeline(q *ast.Query, t *storage.Table, layout *relation, aliases map[string]ast.Expr, outer *env, lo, hi int, project bool) batchIterator {
-	var it batchIterator = newScanIterator(c.stats, t, lo, hi, c.batch)
+// streamPipeline assembles scan → [filter] → [project] over src's rows at
+// positions [lo,hi), evaluating on c (so a shard context accumulates its
+// own stats). src may be the whole table or an index-restricted id list —
+// the residual filter re-applies the full WHERE either way.
+func (c *execCtx) streamPipeline(q *ast.Query, src *rowSource, layout *relation, aliases map[string]ast.Expr, outer *env, lo, hi int, project bool) batchIterator {
+	var it batchIterator = newSourceIterator(c.stats, src, lo, hi, c.batch)
 	if q.Where != nil {
 		it = &filterIterator{in: it, rel: layout, pred: q.Where, outer: outer, c: c}
 	}
@@ -668,14 +670,19 @@ func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, bool,
 		return nil, false, false, nil
 	}
 	layout := tableLayout(t, f.RefName())
+	// Access-path selection: the scan may restrict through an index
+	// (access.go); ids are ascending, so every downstream order-sensitive
+	// stage (grouped first-encounter order, DISTINCT first occurrence,
+	// top-N stability) sees table order, byte-identical to the full scan.
+	src := c.indexSource(q, t, f.RefName())
 
 	if c.isGrouped(q) {
-		out, err := c.execGroupedStream(q, t, layout, outer)
+		out, err := c.execGroupedStream(q, src, layout, outer)
 		return out, true, false, err
 	}
 
 	if len(q.OrderBy) == 0 && !q.Distinct {
-		rows, err := c.streamProject(q, t, layout, outer)
+		rows, err := c.streamProject(q, src, layout, outer)
 		if err != nil {
 			return nil, true, false, err
 		}
@@ -687,8 +694,8 @@ func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, bool,
 	// pass, with LIMIT counting deduplicated rows.
 	if q.Distinct && len(q.OrderBy) == 0 {
 		aliases := aliasMap(q)
-		rows, err := c.streamDistinct(q, len(t.Rows), func(sc *execCtx, lo, hi int) batchIterator {
-			return sc.streamPipeline(q, t, layout, aliases, outer, lo, hi, true)
+		rows, err := c.streamDistinct(q, src.n(), func(sc *execCtx, lo, hi int) batchIterator {
+			return sc.streamPipeline(q, src, layout, aliases, outer, lo, hi, true)
 		})
 		if err != nil {
 			return nil, true, true, err
@@ -700,7 +707,7 @@ func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, bool,
 	// heap over the scan→filter stream keeps only the best k rows, so the
 	// full sort input is never materialized.
 	if len(q.OrderBy) > 0 && q.Limit >= 0 && !q.Distinct {
-		out, err := c.streamTopN(q, t, layout, outer)
+		out, err := c.streamTopN(q, src, layout, outer)
 		return out, true, false, err
 	}
 
@@ -710,7 +717,7 @@ func (c *execCtx) execStreamed(q *ast.Query, outer *env) (*relation, bool, bool,
 	// materialized projector. The scan iterator has already charged
 	// BytesScanned/RowsScanned, so the drained relation must NOT go back
 	// through execFrom — that would double-count the scan.
-	rows, err := c.streamRows(q, t, layout, nil, outer, false, -1)
+	rows, err := c.streamRows(q, src, layout, nil, outer, false, -1)
 	if err != nil {
 		return nil, true, false, err
 	}
@@ -768,8 +775,8 @@ func (c *execCtx) streamDistinct(q *ast.Query, n int, mkChain func(sc *execCtx, 
 
 // streamProject runs the fully streamed non-grouped pipeline: scan →
 // filter → project, with LIMIT early exit.
-func (c *execCtx) streamProject(q *ast.Query, t *storage.Table, layout *relation, outer *env) ([][]value.Value, error) {
-	return c.streamRows(q, t, layout, aliasMap(q), outer, true, q.Limit)
+func (c *execCtx) streamProject(q *ast.Query, src *rowSource, layout *relation, outer *env) ([][]value.Value, error) {
+	return c.streamRows(q, src, layout, aliasMap(q), outer, true, q.Limit)
 }
 
 // streamRows drains the (optionally projecting) pipeline over the whole
@@ -782,24 +789,24 @@ func (c *execCtx) streamProject(q *ast.Query, t *storage.Table, layout *relation
 // is the least work possible, whereas sharding would make every worker
 // scan for up to limit rows of its own range (most of them discarded) and
 // leave the charged scan stats varying with the Parallelism knob.
-func (c *execCtx) streamRows(q *ast.Query, t *storage.Table, layout *relation, aliases map[string]ast.Expr, outer *env, project bool, limit int) ([][]value.Value, error) {
-	n := len(t.Rows)
+func (c *execCtx) streamRows(q *ast.Query, src *rowSource, layout *relation, aliases map[string]ast.Expr, outer *env, project bool, limit int) ([][]value.Value, error) {
+	n := src.n()
 	shards := c.shardCount(n)
 	if shards <= 1 || limit >= 0 {
-		return drainLimit(c.streamPipeline(q, t, layout, aliases, outer, 0, n, project), limit)
+		return drainLimit(c.streamPipeline(q, src, layout, aliases, outer, 0, n, project), limit)
 	}
 	return c.shardedRowsBounds(shardStreamBounds(n, shards, c.batch), func(sc *execCtx, lo, hi int) ([][]value.Value, error) {
-		return drainLimit(sc.streamPipeline(q, t, layout, aliases, outer, lo, hi, project), limit)
+		return drainLimit(sc.streamPipeline(q, src, layout, aliases, outer, lo, hi, project), limit)
 	})
 }
 
 // execGroupedStream feeds grouped aggregation from the scan→filter stream:
 // each batch folds into the per-group accumulation states, so the filtered
 // input relation is never materialized.
-func (c *execCtx) execGroupedStream(q *ast.Query, t *storage.Table, layout *relation, outer *env) (*relation, error) {
+func (c *execCtx) execGroupedStream(q *ast.Query, src *rowSource, layout *relation, outer *env) (*relation, error) {
 	specs := c.collectAggSpecs(q)
-	groups, err := c.streamGroups(specs, len(t.Rows), func(sc *execCtx, gs *groupSet, lo, hi int) error {
-		return sc.accumulateStream(q, specs, gs, layout, outer, lo, hi, t)
+	groups, err := c.streamGroups(specs, src.n(), func(sc *execCtx, gs *groupSet, lo, hi int) error {
+		return sc.accumulateStream(q, specs, gs, layout, outer, lo, hi, src)
 	})
 	if err != nil {
 		return nil, err
@@ -925,13 +932,13 @@ func (h *topNHeap) siftDown(i int) {
 // streamTopN runs the bounded-heap ORDER BY ... LIMIT pipeline. The scan
 // streams (charging stats per batch) and filtering happens inline so each
 // surviving row keeps its global position for the stability tiebreak.
-func (c *execCtx) streamTopN(q *ast.Query, t *storage.Table, layout *relation, outer *env) (*relation, error) {
+func (c *execCtx) streamTopN(q *ast.Query, src *rowSource, layout *relation, outer *env) (*relation, error) {
 	k := q.Limit
-	n := len(t.Rows)
+	n := src.n()
 	aliases := aliasMap(q)
 	collect := func(sc *execCtx, lo, hi int) ([]topNRow, error) {
 		h := &topNHeap{order: q.OrderBy, k: k}
-		it := newScanIterator(sc.stats, t, lo, hi, sc.batch)
+		it := newSourceIterator(sc.stats, src, lo, hi, sc.batch)
 		pos := lo
 		for {
 			b, err := it.next()
@@ -942,7 +949,10 @@ func (c *execCtx) streamTopN(q *ast.Query, t *storage.Table, layout *relation, o
 				return h.rows, nil
 			}
 			for _, row := range b {
-				seq := pos
+				// The tiebreaker is the global table row id, not the scan
+				// position: an index-restricted source skips rows but keeps
+				// id order, so stability matches the full scan exactly.
+				seq := src.rowID(pos)
 				pos++
 				if q.Where != nil {
 					// Filter env carries no aliases, matching filterIterator
@@ -1008,8 +1018,8 @@ func (c *execCtx) streamTopN(q *ast.Query, t *storage.Table, layout *relation, o
 
 // accumulateStream pulls the scan→filter pipeline over [lo,hi) and folds
 // each batch into gs.
-func (c *execCtx) accumulateStream(q *ast.Query, specs []aggSpec, gs *groupSet, layout *relation, outer *env, lo, hi int, t *storage.Table) error {
-	it := c.streamPipeline(q, t, layout, nil, outer, lo, hi, false)
+func (c *execCtx) accumulateStream(q *ast.Query, specs []aggSpec, gs *groupSet, layout *relation, outer *env, lo, hi int, src *rowSource) error {
+	it := c.streamPipeline(q, src, layout, nil, outer, lo, hi, false)
 	for {
 		b, err := it.next()
 		if err != nil {

@@ -68,9 +68,10 @@ type ResultStream struct {
 func (e *Engine) ExecuteStream(q *ast.Query, params map[string]value.Value) (*ResultStream, error) {
 	ctx := &execCtx{
 		eng: e, params: params, stats: &Stats{},
-		subq:  make(map[*ast.Query]*subqPlan),
-		par:   e.effectiveParallelism(),
-		batch: e.BatchSize,
+		subq:   make(map[*ast.Query]*subqPlan),
+		par:    e.effectiveParallelism(),
+		batch:  e.BatchSize,
+		useIdx: e.UseIndexes,
 	}
 	if s, ok := ctx.pipelinedStream(q); ok {
 		return s, nil
@@ -178,9 +179,10 @@ func (c *execCtx) rowStream(q *ast.Query) (*ResultStream, bool) {
 		t, _ := c.eng.Cat.Table(q.From[0].Name)
 		layout := tableLayout(t, q.From[0].RefName())
 		aliases := aliasMap(q)
-		n = len(t.Rows)
+		src := c.indexSource(q, t, q.From[0].RefName())
+		n = src.n()
 		mkChain = func(sc *execCtx, lo, hi int) batchIterator {
-			return sc.streamPipeline(q, t, layout, aliases, nil, lo, hi, true)
+			return sc.streamPipeline(q, src, layout, aliases, nil, lo, hi, true)
 		}
 	} else {
 		jp, err := c.prepareJoinStream(q, nil)
@@ -229,8 +231,9 @@ func (c *execCtx) accumulateGroupedStream(q *ast.Query) (batchIterator, error) {
 	if len(q.From) == 1 {
 		t, _ := c.eng.Cat.Table(q.From[0].Name)
 		layout = tableLayout(t, q.From[0].RefName())
-		groups, err = c.streamGroups(specs, len(t.Rows), func(sc *execCtx, gs *groupSet, lo, hi int) error {
-			return sc.accumulateStream(q, specs, gs, layout, nil, lo, hi, t)
+		src := c.indexSource(q, t, q.From[0].RefName())
+		groups, err = c.streamGroups(specs, src.n(), func(sc *execCtx, gs *groupSet, lo, hi int) error {
+			return sc.accumulateStream(q, specs, gs, layout, nil, lo, hi, src)
 		})
 	} else {
 		var jp *joinStreamPlan
@@ -255,12 +258,13 @@ func (c *execCtx) accumulateGroupedStream(q *ast.Query) (batchIterator, error) {
 func (c *execCtx) topNStream(q *ast.Query) *ResultStream {
 	t, _ := c.eng.Cat.Table(q.From[0].Name)
 	layout := tableLayout(t, q.From[0].RefName())
+	src := c.indexSource(q, t, q.From[0].RefName())
 	size := c.batch
 	if size <= 0 {
 		size = DefaultBatchSize
 	}
 	it := &lazyIterator{mk: func() (batchIterator, error) {
-		rel, err := c.streamTopN(q, t, layout, nil)
+		rel, err := c.streamTopN(q, src, layout, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -66,6 +66,9 @@ type RemotePart struct {
 	// Cost-model estimates, filled by costPlan.
 	EstRows  float64
 	EstBytes float64
+	// Access is the costed access path ("scan" or "index(col) est-sel=…"),
+	// filled by costPlan when Context.Indexes is on; empty otherwise.
+	Access string
 }
 
 // Plan is a split client/server execution plan.
@@ -126,6 +129,9 @@ func (p *Plan) describe(b *strings.Builder, depth int) {
 	}
 	if p.Remote != nil {
 		fmt.Fprintf(b, "%sRemoteSQL [%s]: %s\n", ind, p.Remote.Name, p.Remote.Query.SQL())
+		if p.Remote.Access != "" {
+			fmt.Fprintf(b, "%s  access %s\n", ind, p.Remote.Access)
+		}
 		for _, o := range p.Remote.Outputs {
 			fmt.Fprintf(b, "%s  out %s (%s)\n", ind, o.Name, o.Mode)
 		}

@@ -306,6 +306,11 @@ func (e *estimator) costPart(part *RemotePart, prefilter bool) (server, transfer
 	for _, f := range q.From {
 		scanBytes += e.encTableBytes(f.Name)
 	}
+	if ctx.Indexes && len(q.From) == 1 {
+		// Index-vs-scan: a sargable conjunct can shrink the scan to an
+		// index fetch of the estimated matching rows (access.go).
+		scanBytes *= e.annotateAccess(part, s, conjuncts)
+	}
 	server = scanBytes/e.ctx.Cost.Cfg.DiskBytesPerSec +
 		inputRows*e.ctx.Cost.Cfg.ServerRowNanos/1e9
 

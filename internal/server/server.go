@@ -92,6 +92,12 @@ func (s *Server) SetBatchSize(b int) {
 	s.Engine.BatchSize = b
 }
 
+// SetIndexes turns the engine's secondary-index access paths on or off.
+// Results are byte-identical either way; only scan cost changes.
+func (s *Server) SetIndexes(on bool) {
+	s.Engine.UseIndexes = on
+}
+
 // parallelism resolves the knob (values < 1 mean GOMAXPROCS).
 func (s *Server) parallelism() int {
 	if s.Parallelism > 0 {

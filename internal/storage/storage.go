@@ -74,32 +74,158 @@ func (s *Schema) ColIndex(name string) int {
 type Table struct {
 	Schema   Schema
 	Rows     [][]value.Value
-	ColBytes []int64 // per-column accumulated bytes
-	Bytes    int64   // total bytes (sum of ColBytes plus per-row overhead)
+	ColBytes []int64 // per-column accumulated resident bytes
+	// Bytes is the resident footprint: interned duplicates count at
+	// internRefBytes, not their full ciphertext size. The netsim disk
+	// model scans resident bytes, so interning honestly speeds scans.
+	Bytes int64
+	// RawBytes is what the table would occupy without dictionary
+	// interning (every value at full size). RawBytes >= Bytes; the gap is
+	// the interning saving.
+	RawBytes int64
+
+	indexes map[indexTag]*Index
+	dicts   []*internDict // per column; nil entries for non-internable types
+	key     *keyIndex     // Schema.Key uniqueness, nil if keyless
 }
 
 // rowOverhead models per-row header cost (Postgres-like tuple header).
 const rowOverhead = 24
 
-// NewTable creates an empty table with the given schema.
+// NewTable creates an empty table with the given schema. If the schema
+// declares a Key whose columns all exist, a unique key index is built and
+// enforced on every Insert.
 func NewTable(s Schema) *Table {
-	return &Table{Schema: s, ColBytes: make([]int64, len(s.Cols))}
+	t := &Table{Schema: s, ColBytes: make([]int64, len(s.Cols))}
+	t.dicts = make([]*internDict, len(s.Cols))
+	for i, c := range s.Cols {
+		if c.Type == TStr || c.Type == TBytes {
+			t.dicts[i] = &internDict{}
+		}
+	}
+	if len(s.Key) > 0 {
+		cols := make([]int, 0, len(s.Key))
+		for _, name := range s.Key {
+			ci := s.ColIndex(name)
+			if ci < 0 {
+				cols = nil
+				break
+			}
+			cols = append(cols, ci)
+		}
+		if cols != nil {
+			t.key = &keyIndex{cols: cols, seen: make(map[string]int32)}
+		}
+	}
+	return t
 }
 
-// Insert appends a row, validating arity and accounting its size.
+// Insert appends a row, validating arity, enforcing the unique key,
+// interning repeated string/bytes values, accounting resident and raw
+// size, and maintaining every secondary index.
 func (t *Table) Insert(row []value.Value) error {
 	if len(row) != len(t.Schema.Cols) {
 		return fmt.Errorf("storage: table %s: row has %d values, schema has %d columns",
 			t.Schema.Name, len(row), len(t.Schema.Cols))
 	}
+	var key string
+	if t.key != nil {
+		k, ok := t.key.keyOf(row)
+		if ok {
+			if prev, dup := t.key.seen[k]; dup {
+				return fmt.Errorf("storage: table %s: duplicate key %v (rows %d and %d)",
+					t.Schema.Name, t.keyVals(row), prev, len(t.Rows))
+			}
+			key = k
+		}
+	}
+	id := int32(len(t.Rows))
 	for i, v := range row {
+		t.RawBytes += int64(v.Size())
 		sz := int64(v.Size())
+		if d := t.dicts[i]; d != nil && !v.IsNull() {
+			row[i], sz = d.add(v)
+		}
 		t.ColBytes[i] += sz
 		t.Bytes += sz
 	}
 	t.Bytes += rowOverhead
+	t.RawBytes += rowOverhead
 	t.Rows = append(t.Rows, row)
+	if t.key != nil && key != "" {
+		t.key.seen[key] = id
+	}
+	for tag, ix := range t.indexes {
+		ix.add(row[t.Schema.ColIndex(tag.col)], id)
+	}
 	return nil
+}
+
+// keyVals extracts the key column values of a row for error messages.
+func (t *Table) keyVals(row []value.Value) []value.Value {
+	vals := make([]value.Value, len(t.key.cols))
+	for i, ci := range t.key.cols {
+		vals[i] = row[ci]
+	}
+	return vals
+}
+
+// EnsureIndex builds (or returns) the index of the given kind over the
+// named column, backfilling existing rows. Later Inserts maintain it.
+func (t *Table) EnsureIndex(col string, kind IndexKind) (*Index, error) {
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("storage: table %s: no column %s to index", t.Schema.Name, col)
+	}
+	tag := indexTag{col: col, kind: kind}
+	if ix, ok := t.indexes[tag]; ok {
+		return ix, nil
+	}
+	ix := newIndex(col, kind)
+	for id, row := range t.Rows {
+		ix.add(row[ci], int32(id))
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[indexTag]*Index)
+	}
+	t.indexes[tag] = ix
+	return ix, nil
+}
+
+// Index returns the index of the given kind on the named column, or nil.
+func (t *Table) Index(col string, kind IndexKind) *Index {
+	return t.indexes[indexTag{col: col, kind: kind}]
+}
+
+// Indexes returns every secondary index of the table.
+func (t *Table) Indexes() []*Index {
+	out := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// HasKey reports whether the table enforces a unique Schema.Key.
+func (t *Table) HasKey() bool { return t.key != nil }
+
+// dropDerived discards all derived state — secondary indexes, the unique
+// key index, and interning dictionaries — so nothing stale survives a
+// catalog replacement. Rows and size accounting are untouched.
+func (t *Table) dropDerived() {
+	t.indexes = nil
+	t.key = nil
+	for i := range t.dicts {
+		if t.dicts[i] != nil {
+			t.dicts[i] = &internDict{disabled: true}
+		}
+	}
 }
 
 // MustInsert inserts or panics; for generators and fixtures.
@@ -139,7 +265,15 @@ func (c *Catalog) Create(s Schema) (*Table, error) {
 }
 
 // Put installs a table, replacing any existing one with the same name.
-func (c *Catalog) Put(t *Table) { c.tables[t.Schema.Name] = t }
+// The replaced table's derived state (secondary indexes, key index,
+// interning dictionaries) is dropped so stale structures cannot answer
+// queries through a dangling reference.
+func (c *Catalog) Put(t *Table) {
+	if old, ok := c.tables[t.Schema.Name]; ok && old != t {
+		old.dropDerived()
+	}
+	c.tables[t.Schema.Name] = t
+}
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {
@@ -163,11 +297,21 @@ func (c *Catalog) Names() []string {
 	return names
 }
 
-// TotalBytes sums stored bytes across all tables.
+// TotalBytes sums resident (interned) bytes across all tables.
 func (c *Catalog) TotalBytes() int64 {
 	var n int64
 	for _, t := range c.tables {
 		n += t.Bytes
+	}
+	return n
+}
+
+// TotalRawBytes sums pre-interning bytes across all tables; the ratio
+// TotalBytes/TotalRawBytes is the interning saving.
+func (c *Catalog) TotalRawBytes() int64 {
+	var n int64
+	for _, t := range c.tables {
+		n += t.RawBytes
 	}
 	return n
 }

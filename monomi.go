@@ -120,6 +120,7 @@ import (
 	"crypto/tls"
 	"fmt"
 
+	"repro/internal/ast"
 	"repro/internal/client"
 	"repro/internal/designer"
 	"repro/internal/enc"
@@ -287,6 +288,16 @@ type Options struct {
 	// batches once its materialized execution finishes. Off by default;
 	// toggle later with System.SetStreamWire.
 	StreamWire bool
+	// Indexes maintains secondary indexes over the encrypted tables — a
+	// DET hash index (equality, IN, hash-join builds) and an OPE ordered
+	// index (ranges, BETWEEN, prefix ORDER BY) per column carrying those
+	// schemes — and lets both the engine and the cost-based planner choose
+	// an index probe over a full scan when the predicate is selective
+	// enough. The plaintext baseline engine gets mirror indexes on the
+	// same columns so comparisons stay fair. Results are byte-identical
+	// with indexes on or off; only scan cost changes. DefaultOptions
+	// enables it; toggle later with System.SetIndexes.
+	Indexes bool
 }
 
 // DefaultOptions returns the paper's configuration: 1,024-bit Paillier,
@@ -296,6 +307,7 @@ func DefaultOptions() Options {
 		MasterKey:    []byte("monomi-default-master-key"),
 		PaillierBits: 1024,
 		SpaceBudget:  2.0,
+		Indexes:      true,
 	}
 }
 
@@ -360,6 +372,11 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Indexes {
+		if err := buildPlainIndexes(db.cat, dres.Design); err != nil {
+			return nil, err
+		}
+	}
 	srv := server.New(encDB, net)
 	dres.Context.EnablePrefilter = true
 	cl := client.New(ks, srv, dres.Context, net)
@@ -370,7 +387,37 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 	sys.SetParallelism(opts.Parallelism)
 	sys.SetBatchSize(opts.BatchSize)
 	sys.SetStreamWire(opts.StreamWire)
+	sys.SetIndexes(opts.Indexes)
 	return sys, nil
+}
+
+// buildPlainIndexes mirrors the encrypted tables' secondary indexes onto
+// the plaintext baseline: every base column the design encrypts with DET
+// gets a hash index, every OPE column an ordered index — so plaintext-vs-
+// encrypted comparisons measure encryption overhead, not index presence.
+func buildPlainIndexes(cat *storage.Catalog, design *enc.Design) error {
+	for _, it := range design.Items {
+		cr, ok := it.Expr.(*ast.ColumnRef)
+		if !ok {
+			continue // precomputed expressions have no plaintext column
+		}
+		t, err := cat.Table(it.Table)
+		if err != nil {
+			continue
+		}
+		switch it.Scheme {
+		case enc.DET:
+			_, err = t.EnsureIndex(cr.Column, storage.HashIndex)
+		case enc.OPE:
+			_, err = t.EnsureIndex(cr.Column, storage.OrderedIndex)
+		default:
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SetParallelism changes the worker count for sharded execution on the
@@ -404,6 +451,24 @@ func (s *System) SetBatchSize(b int) {
 // flight.
 func (s *System) SetStreamWire(on bool) {
 	s.client.StreamWire = on
+}
+
+// SetIndexes toggles secondary-index access paths on the server's engine,
+// the planner's cost model, and the plaintext baseline engine (see
+// Options.Indexes). Results are byte-identical either way. Cached plans
+// are dropped so subsequent executions are costed under the new setting.
+// It must not be called while queries are in flight. On a remote System
+// only the client-side planner moves — the remote server's engine setting
+// is fixed by its own flags.
+func (s *System) SetIndexes(on bool) {
+	if s.client.Srv != nil {
+		s.client.Srv.SetIndexes(on)
+	}
+	if s.client.Ctx != nil {
+		s.client.Ctx.Indexes = on
+	}
+	s.client.ResetPlanCache()
+	s.plain.UseIndexes = on
 }
 
 // ServeConfig tunes a network deployment of the untrusted server: MaxConns
@@ -636,6 +701,48 @@ func (s *System) PlanCacheStats() PlanCacheStats {
 // subsequent executions to plan from scratch (counters are kept).
 // Benchmarks use it to compare cold planning against the warm fast path.
 func (s *System) ResetPlanCache() { s.client.ResetPlanCache() }
+
+// Stats reports the untrusted server's cumulative access-path and storage
+// counters.
+type Stats struct {
+	// IndexLookups counts secondary-index probes over the System's
+	// lifetime: point lookups, range scans, IN elements, ordered
+	// emissions, and hash-join builds served from an index.
+	IndexLookups int64
+	// RowsSkippedByIndex counts rows those probes avoided reading
+	// compared to full scans of the same tables.
+	RowsSkippedByIndex int64
+	// EncBytes is the resident encrypted heap footprint after ciphertext
+	// dictionary interning; EncRawBytes is what it would be with every
+	// ciphertext stored inline. EncRawBytes/EncBytes > 1 is the interning
+	// saving (DET ciphertexts of repeated plaintexts are identical, so
+	// low-cardinality columns intern well).
+	EncBytes    int64
+	EncRawBytes int64
+}
+
+// InternRatio is the dictionary-interning space saving: raw over resident
+// bytes (1 = nothing interned).
+func (st Stats) InternRatio() float64 {
+	if st.EncBytes == 0 {
+		return 1
+	}
+	return float64(st.EncRawBytes) / float64(st.EncBytes)
+}
+
+// Stats returns the server-side counters. On a remote System the engine
+// counters are zero — they live in the remote process — but the storage
+// footprint (shared metadata) is still reported.
+func (s *System) Stats() Stats {
+	st := Stats{
+		EncBytes:    s.encDB.Cat.TotalBytes(),
+		EncRawBytes: s.encDB.Cat.TotalRawBytes(),
+	}
+	if s.client.Srv != nil {
+		st.IndexLookups, st.RowsSkippedByIndex = s.client.Srv.Engine.IndexStats()
+	}
+	return st
+}
 
 // QueryPlaintext executes SQL directly on the plaintext database (the
 // unencrypted baseline used for comparisons).

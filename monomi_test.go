@@ -164,3 +164,60 @@ func mustTPCH(n int) string {
 	}
 	return q
 }
+
+// TestFacadeStats checks the observability surface: a selective query over
+// an indexed system charges IndexLookups and RowsSkippedByIndex, interning
+// never inflates storage (ratio >= 1), and SetIndexes(false) stops the
+// charging without changing results.
+func TestFacadeStats(t *testing.T) {
+	db := NewDatabase()
+	db.MustCreateTable("ev", Col("e_id", Int), Col("e_cat", String))
+	for i := 0; i < 200; i++ {
+		cat := "common"
+		if i == 77 {
+			cat = "rare"
+		}
+		db.MustInsert("ev", i, cat)
+	}
+	opts := DefaultOptions()
+	opts.PaillierBits = 256
+	sys, err := Encrypt(db, Workload{
+		"probe": `SELECT COUNT(*) FROM ev WHERE e_cat = 'rare'`,
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	if st := sys.Stats(); st.IndexLookups != 0 {
+		t.Errorf("fresh system already charged %d lookups", st.IndexLookups)
+	}
+	r, err := sys.Query(`SELECT COUNT(*) FROM ev WHERE e_cat = 'rare'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Data) != 1 || r.Data[0][0] != int64(1) {
+		t.Fatalf("count = %v", r.Data)
+	}
+	st := sys.Stats()
+	if st.IndexLookups == 0 {
+		t.Error("selective equality did not probe the index")
+	}
+	if st.RowsSkippedByIndex != 199 {
+		t.Errorf("RowsSkippedByIndex = %d, want 199", st.RowsSkippedByIndex)
+	}
+	if st.EncBytes <= 0 || st.EncRawBytes < st.EncBytes {
+		t.Errorf("interning accounting: raw %d, stored %d", st.EncRawBytes, st.EncBytes)
+	}
+	if st.InternRatio() < 1 {
+		t.Errorf("InternRatio = %g, want >= 1", st.InternRatio())
+	}
+
+	sys.SetIndexes(false)
+	if _, err := sys.Query(`SELECT COUNT(*) FROM ev WHERE e_cat = 'rare'`); err != nil {
+		t.Fatal(err)
+	}
+	if again := sys.Stats(); again.IndexLookups != st.IndexLookups {
+		t.Errorf("lookups moved with indexes off: %d -> %d", st.IndexLookups, again.IndexLookups)
+	}
+}
