@@ -15,10 +15,11 @@
 //	monomi-bench -exp concurrent      # multi-client served deployment over loopback TCP
 //	monomi-bench -exp repeat          # warm-vs-cold repeated-query hot path
 //	monomi-bench -exp index           # secondary-index selectivity sweep vs full scans
+//	monomi-bench -exp backend         # mem vs disk storage backend, cold vs warm block cache
 //	monomi-bench -exp all
 //
-// -json <file> additionally writes the index/repeat/concurrent scenario
-// results as a machine-readable JSON array.
+// -json <file> additionally writes the index/repeat/concurrent/backend
+// scenario results as a machine-readable JSON array.
 package main
 
 import (
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|concurrent|repeat|index|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig7|fig8|fig9|table2|table3|stats|join|stream|concurrent|repeat|index|backend|all")
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	bits := flag.Int("paillier", 512, "Paillier modulus bits (paper: 1024)")
@@ -49,6 +50,10 @@ func main() {
 	repeatPool := flag.Bool("paillierpool", true, "precompute Paillier randomness in a background pool (-exp repeat)")
 	indexRows := flag.Int("indexrows", 200000, "table rows for the index selectivity sweep (-exp index)")
 	indexIters := flag.Int("indexiters", 7, "timed executions per sweep point (-exp index)")
+	backendRows := flag.Int("backendrows", 20000, "table rows for the storage-backend scenario (-exp backend)")
+	backendIters := flag.Int("backenditers", 6, "timed executions per backend (-exp backend)")
+	pageBytes := flag.Int("pagebytes", 4096, "disk-backend page size in bytes (-exp backend)")
+	cacheBytes := flag.Int64("cachebytes", 128<<10, "disk-backend block-cache budget in bytes (-exp backend)")
 	jsonPath := flag.String("json", "", "write index/repeat/concurrent results to this file as JSON")
 	flag.Parse()
 
@@ -132,6 +137,10 @@ func main() {
 			}
 		case "index":
 			if err := indexScenario(*indexRows, *indexIters, *par, *batch, sink); err != nil {
+				log.Fatal(err)
+			}
+		case "backend":
+			if err := backendScenario(*backendRows, *backendIters, *par, *batch, *pageBytes, *cacheBytes, sink); err != nil {
 				log.Fatal(err)
 			}
 		default:

@@ -39,9 +39,11 @@ func main() {
 	queryWait := flag.Duration("querywait", 0, "how long a query may wait for an in-flight slot (0 = fail fast)")
 	tlsCert := flag.String("tls-cert", "", "TLS certificate file (with -tls-key; empty = plain TCP)")
 	tlsKey := flag.String("tls-key", "", "TLS private key file")
+	backend := flag.String("backend", "mem", "storage backend for the encrypted tables: mem or disk")
+	dataDir := flag.String("data", "", "segment-file directory for -backend disk")
 	flag.Parse()
 
-	sys, err := buildSystem(*sf, *seed, *masterKey, *bits, *par, *batch)
+	sys, err := buildSystem(*sf, *seed, *masterKey, *bits, *par, *batch, *backend, *dataDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,6 +78,7 @@ func main() {
 	log.Printf("shutting down...")
 	start := time.Now()
 	srv.Close()
+	defer sys.Close()
 	st := srv.Stats()
 	log.Printf("drained in %v: %d sessions (%d rejected), %d queries (%d rejected, %d cancelled, %d errors)",
 		time.Since(start).Round(time.Millisecond),
@@ -85,7 +88,7 @@ func main() {
 // buildSystem stands up the encrypted deployment the server hosts. The
 // workload is every supported TPC-H query, so the design covers whatever
 // the remote trusted side plans.
-func buildSystem(sf float64, seed int64, masterKey string, bits, par, batch int) (*monomi.System, error) {
+func buildSystem(sf float64, seed int64, masterKey string, bits, par, batch int, backend, dataDir string) (*monomi.System, error) {
 	log.Printf("generating TPC-H at SF %g (seed %d) and encrypting (paillier %d bits)...", sf, seed, bits)
 	db, err := monomi.TPCH(sf, seed)
 	if err != nil {
@@ -101,6 +104,8 @@ func buildSystem(sf float64, seed int64, masterKey string, bits, par, batch int)
 	opts.PaillierBits = bits
 	opts.Parallelism = par
 	opts.BatchSize = batch
+	opts.Backend = backend
+	opts.DataDir = dataDir
 	sys, err := monomi.Encrypt(db, workload, opts)
 	if err != nil {
 		return nil, err

@@ -49,7 +49,11 @@ func main() {
 		fmt.Fprint(w, c.Name)
 	}
 	fmt.Fprintln(w)
-	for _, row := range t.Rows {
+	allRows, _, err := t.ScanRows(0, t.NumRows())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range allRows {
 		for i, v := range row {
 			if i > 0 {
 				fmt.Fprint(w, ",")

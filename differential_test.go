@@ -42,6 +42,15 @@ var diffStreamWire = []bool{false, true}
 // for the join columns.
 func diffSystem(t testing.TB) *System {
 	t.Helper()
+	return diffSystemBackend(t, "")
+}
+
+// diffSystemBackend is diffSystem with an explicit storage backend for the
+// encrypted tables ("" = in-memory). The disk variant uses small pages and
+// a block cache much smaller than the encrypted tables, so the grid runs
+// with real page churn, not an all-resident cache.
+func diffSystemBackend(t testing.TB, backend string) *System {
+	t.Helper()
 	rng := rand.New(rand.NewSource(diffSeed))
 	db := NewDatabase()
 	db.MustCreateTable("sales",
@@ -71,6 +80,12 @@ func diffSystem(t testing.TB) *System {
 	opts := DefaultOptions()
 	opts.PaillierBits = 256 // fast tests
 	opts.SpaceBudget = 0    // unconstrained: materialize what the workload wants
+	if backend != "" {
+		opts.Backend = backend
+		opts.DataDir = t.TempDir()
+		opts.PageBytes = 1024
+		opts.BlockCacheBytes = 16 << 10
+	}
 	sys, err := Encrypt(db, Workload{
 		"sum_by_cat": "SELECT s_cat, SUM(s_price), SUM(s_qty), COUNT(*) FROM sales GROUP BY s_cat",
 		"filter_ope": "SELECT s_id, s_price FROM sales WHERE s_qty < 10 AND s_price > 500",

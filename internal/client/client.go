@@ -282,7 +282,11 @@ func (c *Client) finishPlan(plan *planner.Plan, cat *storage.Catalog, res *Resul
 		for _, col := range t.Schema.Cols {
 			res.Cols = append(res.Cols, col.Name)
 		}
-		res.Rows = t.Rows
+		rows, _, err := t.ScanRows(0, t.NumRows())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
 		return res, nil
 	}
 	start := time.Now()

@@ -191,7 +191,7 @@ func TestEncryptDatabaseLayout(t *testing.T) {
 	if item == nil {
 		t.Fatal("k_det missing from meta")
 	}
-	cv := et.Rows[3][meta.ColumnOf(idx)]
+	cv := et.Row(3)[meta.ColumnOf(idx)]
 	pv, err := ks.DecryptValue(item, cv)
 	if err != nil || pv.AsInt() != 3 {
 		t.Errorf("k decrypts to %v (%v)", pv, err)
@@ -303,7 +303,7 @@ func TestEncryptDatabaseIndexesAndKey(t *testing.T) {
 	}
 	// A duplicate encrypted key must be rejected like a plaintext one.
 	dup := make([]value.Value, len(et.Schema.Cols))
-	copy(dup, et.Rows[0])
+	copy(dup, et.Row(0))
 	if err := et.Insert(dup); err == nil {
 		t.Error("duplicate DET key insert succeeded")
 	}

@@ -91,10 +91,19 @@ func EncryptDatabase(plain *storage.Catalog, design *Design, ks *KeyStore) (*DB,
 // for the encryption-time expression scans over the plaintext tables
 // (0 = GOMAXPROCS, 1 = sequential).
 func EncryptDatabaseParallel(plain *storage.Catalog, design *Design, ks *KeyStore, par int) (*DB, error) {
+	return EncryptDatabaseOn(plain, design, ks, par, storage.BackendConfig{})
+}
+
+// EncryptDatabaseOn is EncryptDatabaseParallel with an explicit storage
+// backend for the encrypted catalog: the zero config keeps the encrypted
+// tables in memory, a disk config loads them straight into paged segment
+// files (flushed table by table, so the load never holds more than the
+// block cache resident).
+func EncryptDatabaseOn(plain *storage.Catalog, design *Design, ks *KeyStore, par int, cfg storage.BackendConfig) (*DB, error) {
 	eng := engine.New(plain)
 	eng.Parallelism = par
 	db := &DB{
-		Cat:    storage.NewCatalog(),
+		Cat:    storage.NewCatalogWith(cfg),
 		Stores: make(map[string]*packing.Store),
 		Meta:   make(map[string]*TableMeta),
 	}
@@ -259,6 +268,11 @@ func encryptTable(db *DB, eng *engine.Engine, plain *storage.Catalog, design *De
 		if err := encTable.Insert(out); err != nil {
 			return err
 		}
+	}
+	// Persist the loaded rows and segment metadata (schema, index specs,
+	// row count); a no-op for the in-memory backend.
+	if err := encTable.Flush(); err != nil {
+		return err
 	}
 
 	// Build the ciphertext files.

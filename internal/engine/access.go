@@ -47,7 +47,7 @@ type rowSource struct {
 // n returns the number of scannable rows.
 func (s *rowSource) n() int {
 	if s.ids == nil {
-		return len(s.t.Rows)
+		return s.t.NumRows()
 	}
 	return len(s.ids)
 }
@@ -89,7 +89,7 @@ type idScanIterator struct {
 
 // bytePrefix is the scan-byte charge for fetching the first p listed rows.
 func (it *idScanIterator) bytePrefix(p int) int64 {
-	return it.t.Bytes * int64(p) / int64(len(it.t.Rows))
+	return it.t.Bytes * int64(p) / int64(it.t.NumRows())
 }
 
 func (it *idScanIterator) next() ([][]value.Value, error) {
@@ -100,11 +100,15 @@ func (it *idScanIterator) next() ([][]value.Value, error) {
 	if end > len(it.ids) {
 		end = len(it.ids)
 	}
-	b := make([][]value.Value, end-it.pos)
-	for i := it.pos; i < end; i++ {
-		b[i-it.pos] = it.t.Rows[it.ids[i]]
+	b, phys, err := it.t.FetchRows(it.ids[it.pos:end])
+	if err != nil {
+		return nil, err
 	}
-	it.st.BytesScanned += it.bytePrefix(it.off+end) - it.bytePrefix(it.off+it.pos)
+	if it.t.Paged() {
+		it.st.BytesScanned += phys
+	} else {
+		it.st.BytesScanned += it.bytePrefix(it.off+end) - it.bytePrefix(it.off+it.pos)
+	}
 	it.st.RowsScanned += int64(end - it.pos)
 	it.st.RowsStreamed += int64(end - it.pos)
 	it.st.BatchesStreamed++
@@ -114,36 +118,66 @@ func (it *idScanIterator) next() ([][]value.Value, error) {
 
 func (it *idScanIterator) close() { it.closed = true }
 
-// indexSource chooses the access path for a single-table scan: the best
-// index-answerable WHERE conjunct (fewest candidate rows) when it beats the
-// cost rule, else the full table. Index stats are charged here, once, on
-// the resolving context — resolution happens before any sharding.
+// indexSource chooses the access path for a single-table scan: every
+// index-answerable WHERE conjunct contributes its ascending id list, and
+// the lists are intersected (each is a superset of its conjunct's matches,
+// so the intersection is a superset of the rows where the whole AND can
+// hold) before the residual filter. The intersection is used when it beats
+// the cost rule, else the full table. Index stats are charged here, once,
+// on the resolving context — resolution happens before any sharding.
 func (c *execCtx) indexSource(q *ast.Query, t *storage.Table, refName string) *rowSource {
 	full := &rowSource{t: t}
-	n := len(t.Rows)
+	n := t.NumRows()
 	if !c.useIdx || q.Where == nil || n == 0 {
 		return full
 	}
 	if q.Hint != nil && q.Hint.Path == ast.AccessScan {
 		return full
 	}
-	var best []int32
-	var bestLookups int64
+	var ids []int32
+	var lookups int64
 	found := false
 	for _, e := range ast.Conjuncts(q.Where) {
-		ids, lookups, ok := c.sargIDs(t, refName, e)
+		cids, clk, ok := c.sargIDs(t, refName, e)
 		if !ok {
 			continue
 		}
-		if !found || len(ids) < len(best) {
-			best, bestLookups, found = ids, lookups, true
+		lookups += clk
+		if !found {
+			ids, found = cids, true
+		} else {
+			ids = intersectIDs(ids, cids)
+		}
+		if len(ids) == 0 {
+			break // the AND can match nothing; later conjuncts can't grow it
 		}
 	}
-	if !found || len(best)*indexRowCost >= n {
+	if !found || len(ids)*indexRowCost >= n {
 		return full
 	}
-	c.chargeIndex(bestLookups, int64(n-len(best)))
-	return &rowSource{t: t, ids: best}
+	c.chargeIndex(lookups, int64(n-len(ids)))
+	return &rowSource{t: t, ids: ids}
+}
+
+// intersectIDs merges two ascending id lists into their intersection
+// (two-pointer; never aliases either input, which may be live posting
+// lists).
+func intersectIDs(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // chargeIndex records index usage on the per-query stats and the engine's
@@ -205,7 +239,7 @@ func (c *execCtx) sargIDs(t *storage.Table, refName string, e ast.Expr) ([]int32
 		}
 		// Count first (two binary searches): an unselective range would fail
 		// the cost rule anyway, so don't pay for materializing its ids.
-		if ix.RangeCount(lo, hi, loIncl, hiIncl)*indexRowCost >= len(t.Rows) {
+		if ix.RangeCount(lo, hi, loIncl, hiIncl)*indexRowCost >= t.NumRows() {
 			return nil, 0, false
 		}
 		return notNil(ix.Range(lo, hi, loIncl, hiIncl)), 1, true
@@ -236,7 +270,7 @@ func (c *execCtx) sargIDs(t *storage.Table, refName string, e ast.Expr) ([]int32
 		if !ix.Usable(lo.K) || !ix.Usable(hi.K) {
 			return nil, 0, false
 		}
-		if ix.RangeCount(&lo, &hi, true, true)*indexRowCost >= len(t.Rows) {
+		if ix.RangeCount(&lo, &hi, true, true)*indexRowCost >= t.NumRows() {
 			return nil, 0, false
 		}
 		return notNil(ix.Range(&lo, &hi, true, true)), 1, true
@@ -383,11 +417,13 @@ func (c *execCtx) execIndexed(q *ast.Query, outer *env) (*relation, bool, error)
 			return nil, false, nil
 		}
 	}
-	rows := make([][]value.Value, len(ids))
-	for i, id := range ids {
-		rows[i] = t.Rows[id]
+	rows, phys, err := t.FetchRows(ids)
+	if err != nil {
+		return nil, true, err
 	}
-	if n := len(t.Rows); n > 0 {
+	if t.Paged() {
+		c.stats.BytesScanned += phys
+	} else if n := t.NumRows(); n > 0 {
 		c.stats.BytesScanned += t.Bytes * int64(len(ids)) / int64(n)
 	}
 	c.stats.RowsScanned += int64(len(ids))

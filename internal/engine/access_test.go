@@ -119,6 +119,10 @@ var accessShapes = []string{
 	// join: build side served from dim's hash index
 	`SELECT e_id, d_w FROM ev, dim WHERE e_cat = d_cat AND e_val < 150`,
 	`SELECT d_cat, COUNT(*) FROM ev, dim WHERE e_cat = d_cat GROUP BY d_cat ORDER BY d_cat`,
+	// multi-conjunct intersection: several sargable conjuncts restrict one scan
+	`SELECT e_id, e_val FROM ev WHERE e_cat = 'ale' AND e_val < 200`,
+	`SELECT COUNT(*), SUM(e_val) FROM ev WHERE e_cat = 'cider' AND e_val BETWEEN 100 AND 300 AND e_val <= 220`,
+	`SELECT e_id FROM ev WHERE e_cat = 'ale' AND e_cat = 'bock'`,
 }
 
 // TestAccessPathEquivalence pins every shape's result across UseIndexes ×
@@ -306,5 +310,113 @@ func TestOrderedEmissionStability(t *testing.T) {
 	}
 	if got := renderAccess(run(t, e, `SELECT e_id, e_val FROM ev ORDER BY e_val DESC`, nil)); got != wantDesc {
 		t.Errorf("ordered emission desc diverges")
+	}
+}
+
+// TestAccessMultiConjunctIntersection pins the multi-conjunct index path:
+// every sargable conjunct contributes its ascending id list, the lists are
+// intersected before the residual filter, and the charged stats reflect one
+// probe per conjunct plus the rows the intersection avoided fetching.
+func TestAccessMultiConjunctIntersection(t *testing.T) {
+	e := accessFixture(t)
+	sql := `SELECT e_id, e_val FROM ev WHERE e_cat = 'ale' AND e_val < 200`
+	e.UseIndexes = false
+	want := renderAccess(run(t, e, sql, nil))
+	e.UseIndexes = true
+	res := run(t, e, sql, nil)
+	if got := renderAccess(res); got != want {
+		t.Errorf("intersection path diverges:\n%s\nvs\n%s", got, want)
+	}
+	if res.Stats.IndexLookups != 2 {
+		t.Errorf("IndexLookups = %d, want 2 (one per sargable conjunct)", res.Stats.IndexLookups)
+	}
+	// The intersection fetches strictly fewer rows than either conjunct's
+	// list alone (124 'ale' postings, 116 in the range, 26 in both).
+	eq := run(t, e, `SELECT e_id FROM ev WHERE e_cat = 'ale'`, nil).Stats.RowsScanned
+	rng := run(t, e, `SELECT e_id FROM ev WHERE e_val < 200`, nil).Stats.RowsScanned
+	if res.Stats.RowsScanned == 0 || res.Stats.RowsScanned >= eq || res.Stats.RowsScanned >= rng {
+		t.Errorf("intersection scanned %d rows; single conjuncts scanned %d and %d", res.Stats.RowsScanned, eq, rng)
+	}
+	if res.Stats.RowsSkippedByIndex != 600-res.Stats.RowsScanned {
+		t.Errorf("RowsSkippedByIndex = %d with %d rows scanned", res.Stats.RowsSkippedByIndex, res.Stats.RowsScanned)
+	}
+
+	// A conjunct too unselective to win the cost rule ALONE ('cider' has
+	// 159 postings, 159*4 >= 600) still participates: the rule judges the
+	// final intersection, not each list.
+	sql3 := `SELECT e_id FROM ev WHERE e_cat = 'cider' AND e_val BETWEEN 100 AND 300 AND e_val <= 220`
+	e.UseIndexes = false
+	want3 := renderAccess(run(t, e, sql3, nil))
+	e.UseIndexes = true
+	r3 := run(t, e, sql3, nil)
+	if got := renderAccess(r3); got != want3 {
+		t.Errorf("three-conjunct intersection diverges:\n%s\nvs\n%s", got, want3)
+	}
+	if r3.Stats.IndexLookups != 3 {
+		t.Errorf("IndexLookups = %d, want 3", r3.Stats.IndexLookups)
+	}
+	if r3.Stats.RowsScanned >= 159 {
+		t.Errorf("three-conjunct intersection scanned %d rows, want fewer than the 'cider' postings", r3.Stats.RowsScanned)
+	}
+
+	// Contradictory equalities intersect to the empty list: the index path
+	// answers without fetching a single row.
+	rc := run(t, e, `SELECT e_id FROM ev WHERE e_cat = 'ale' AND e_cat = 'bock'`, nil)
+	if len(rc.Rows) != 0 || rc.Stats.RowsScanned != 0 {
+		t.Errorf("contradiction fetched rows: %+v", rc.Stats)
+	}
+	if rc.Stats.IndexLookups != 2 || rc.Stats.RowsSkippedByIndex != 600 {
+		t.Errorf("contradiction stats = %+v, want 2 lookups and 600 skipped", rc.Stats)
+	}
+}
+
+// TestAccessIndexedINParams pins index-served IN over bound parameters —
+// the shape the plan cache produces when it hoists repeated literal IN
+// lists into :cpN params — one hash probe per non-NULL element, results
+// identical to the index-off scan.
+func TestAccessIndexedINParams(t *testing.T) {
+	e := accessFixture(t)
+	sql := `SELECT e_id, e_opt FROM ev WHERE e_cat IN (:a, :b)`
+	params := map[string]value.Value{"a": value.NewStr("ale"), "b": value.NewStr("stray")}
+	e.UseIndexes = false
+	want := renderAccess(run(t, e, sql, params))
+	e.UseIndexes = true
+	res := run(t, e, sql, params)
+	if got := renderAccess(res); got != want {
+		t.Errorf("IN over params diverges:\n%s\nvs\n%s", got, want)
+	}
+	if res.Stats.IndexLookups != 2 {
+		t.Errorf("IndexLookups = %d, want 2 (one per IN element)", res.Stats.IndexLookups)
+	}
+	if res.Stats.RowsScanned == 0 || res.Stats.RowsScanned >= 600 {
+		t.Errorf("IN over params scanned %d rows", res.Stats.RowsScanned)
+	}
+
+	// Mixed literal and parameter elements probe the same way, and a second
+	// sargable conjunct intersects on top of the IN union.
+	mixed := `SELECT e_id FROM ev WHERE e_cat IN ('ale', :b) AND e_val < 200`
+	e.UseIndexes = false
+	wantMixed := renderAccess(run(t, e, mixed, params))
+	e.UseIndexes = true
+	rm := run(t, e, mixed, params)
+	if got := renderAccess(rm); got != wantMixed {
+		t.Errorf("mixed IN diverges:\n%s\nvs\n%s", got, wantMixed)
+	}
+	if rm.Stats.IndexLookups != 3 {
+		t.Errorf("IndexLookups = %d, want 3 (two IN elements + one range)", rm.Stats.IndexLookups)
+	}
+
+	// A NULL-bound element matches nothing and is skipped without a probe;
+	// the remaining element still serves the query.
+	pn := map[string]value.Value{"a": value.NewStr("ale"), "b": value.NewNull()}
+	e.UseIndexes = false
+	wantNull := renderAccess(run(t, e, sql, pn))
+	e.UseIndexes = true
+	rn := run(t, e, sql, pn)
+	if got := renderAccess(rn); got != wantNull {
+		t.Errorf("NULL-element IN diverges:\n%s\nvs\n%s", got, wantNull)
+	}
+	if rn.Stats.IndexLookups != 1 {
+		t.Errorf("IndexLookups = %d, want 1 (NULL element costs no probe)", rn.Stats.IndexLookups)
 	}
 }

@@ -354,13 +354,22 @@ func (c *execCtx) execFrom(f *ast.TableRef, outer *env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.stats.BytesScanned += t.Bytes
-	c.stats.RowsScanned += int64(len(t.Rows))
+	n := t.NumRows()
+	rows, phys, err := t.ScanRows(0, n)
+	if err != nil {
+		return nil, err
+	}
+	if t.Paged() {
+		c.stats.BytesScanned += phys
+	} else {
+		c.stats.BytesScanned += t.Bytes
+	}
+	c.stats.RowsScanned += int64(n)
 	cols := make([]colInfo, len(t.Schema.Cols))
 	for i, col := range t.Schema.Cols {
 		cols[i] = colInfo{table: f.RefName(), name: col.Name}
 	}
-	return &relation{cols: cols, rows: t.Rows, base: t}, nil
+	return &relation{cols: cols, rows: rows, base: t}, nil
 }
 
 // isGrouped reports whether the query needs the aggregation path.

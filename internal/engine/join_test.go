@@ -277,11 +277,11 @@ func TestJoinStreamIncremental(t *testing.T) {
 	}
 	mid := s.Stats()
 	dims, _ := e.Cat.Table("dims")
-	total := int64(facts + len(dims.Rows))
+	total := int64(facts + dims.NumRows())
 	if mid.RowsScanned >= total/4 {
 		t.Fatalf("first batch scanned %d of %d rows: probe is not streaming", mid.RowsScanned, total)
 	}
-	if mid.RowsScanned < int64(len(dims.Rows))+64 {
+	if mid.RowsScanned < int64(dims.NumRows())+64 {
 		t.Fatalf("first batch scanned %d rows: build side not charged before probe", mid.RowsScanned)
 	}
 	if mid.RowsStreamed == 0 || mid.BatchesStreamed == 0 {
@@ -351,7 +351,11 @@ func TestJoinBuildPartitioned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rel := &relation{rows: tbl.Rows}
+	tblRows, _, err := tbl.ScanRows(0, tbl.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := &relation{rows: tblRows}
 	for _, col := range tbl.Schema.Cols {
 		rel.cols = append(rel.cols, colInfo{table: "dims", name: col.Name})
 	}
@@ -388,7 +392,7 @@ func TestJoinBuildPartitioned(t *testing.T) {
 			total += len(rows)
 		}
 	}
-	if want := len(tbl.Rows) - 1; total != want { // one NULL-key dim row skipped
+	if want := tbl.NumRows() - 1; total != want { // one NULL-key dim row skipped
 		t.Fatalf("partitioned build holds %d rows, want %d", total, want)
 	}
 }

@@ -73,26 +73,28 @@ type batchIterator interface {
 }
 
 // scanIterator streams a table's rows [lo,hi) in fixed-size batches,
-// charging scan statistics as the batches are actually pulled: rows
-// per batch, and bytes as the cumulative difference of the table's
-// row-proportional byte prefix, so per-batch charges telescope to exactly
-// t.Bytes for a full scan at any batch size and shard count, while an
-// early-exited scan charges only what it read.
+// pulled from the storage backend one batch at a time and charging scan
+// statistics as the batches are actually pulled: rows per batch, and bytes
+// either as the backend's real physical page reads (paged backends) or as
+// the cumulative difference of the table's row-proportional byte prefix,
+// so per-batch charges telescope to exactly t.Bytes for a full in-memory
+// scan at any batch size and shard count, while an early-exited scan
+// charges only what it read.
 type scanIterator struct {
 	st        *Stats
-	rows      [][]value.Value // the table's rows, restricted to [lo,hi)
-	off       int             // global index of rows[0] in the table
+	t         *storage.Table
+	lo, hi    int // scanned row-id range
 	tableRows int
 	bytes     int64 // total table heap bytes
 	size      int   // batch size
-	pos       int
+	pos       int   // next row id to pull
 	closed    bool
 }
 
 func newScanIterator(st *Stats, t *storage.Table, lo, hi, size int) *scanIterator {
 	return &scanIterator{
-		st: st, rows: t.Rows[lo:hi], off: lo,
-		tableRows: len(t.Rows), bytes: t.Bytes, size: size,
+		st: st, t: t, lo: lo, hi: hi, pos: lo,
+		tableRows: t.NumRows(), bytes: t.Bytes, size: size,
 	}
 }
 
@@ -102,15 +104,22 @@ func (it *scanIterator) bytePrefix(n int) int64 {
 }
 
 func (it *scanIterator) next() ([][]value.Value, error) {
-	if it.closed || it.pos >= len(it.rows) {
+	if it.closed || it.pos >= it.hi {
 		return nil, nil
 	}
 	end := it.pos + it.size
-	if end > len(it.rows) {
-		end = len(it.rows)
+	if end > it.hi {
+		end = it.hi
 	}
-	b := it.rows[it.pos:end]
-	it.st.BytesScanned += it.bytePrefix(it.off+end) - it.bytePrefix(it.off+it.pos)
+	b, phys, err := it.t.ScanRows(it.pos, end)
+	if err != nil {
+		return nil, err
+	}
+	if it.t.Paged() {
+		it.st.BytesScanned += phys
+	} else {
+		it.st.BytesScanned += it.bytePrefix(end) - it.bytePrefix(it.pos)
+	}
 	it.st.RowsScanned += int64(len(b))
 	it.st.RowsStreamed += int64(len(b))
 	it.st.BatchesStreamed++
@@ -518,7 +527,7 @@ func (c *execCtx) execJoinStreamed(q *ast.Query, outer *env) (*relation, bool, b
 	if err != nil {
 		return nil, true, false, err
 	}
-	n := len(jp.t0.Rows)
+	n := jp.t0.NumRows()
 	// Eligibility already guarantees parallelSafe: outer is nil and no
 	// clause contains a subquery.
 	shards := c.shardCount(n)

@@ -189,7 +189,7 @@ func (c *execCtx) rowStream(q *ast.Query) (*ResultStream, bool) {
 		if err != nil {
 			return nil, false
 		}
-		n = len(jp.t0.Rows)
+		n = jp.t0.NumRows()
 		mkChain = func(sc *execCtx, lo, hi int) batchIterator {
 			return jp.chain(sc, nil, lo, hi, true)
 		}
@@ -242,7 +242,7 @@ func (c *execCtx) accumulateGroupedStream(q *ast.Query) (batchIterator, error) {
 			return nil, err
 		}
 		layout = jp.joined
-		groups, err = c.streamGroups(specs, len(jp.t0.Rows), func(sc *execCtx, gs *groupSet, lo, hi int) error {
+		groups, err = c.streamGroups(specs, jp.t0.NumRows(), func(sc *execCtx, gs *groupSet, lo, hi int) error {
 			return sc.accumulateJoinStream(q, specs, gs, jp, nil, lo, hi)
 		})
 	}

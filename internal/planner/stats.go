@@ -37,8 +37,11 @@ type Stats struct {
 	Tables map[string]*TableStats
 }
 
-// CollectStats scans a plaintext catalog and derives the statistics the
-// planner and designer need. In the paper this runs over a representative
+// CollectStats derives the statistics the planner and designer need from
+// each table's insert-time column metadata (an NDV sketch plus width and
+// numeric bounds, maintained by storage on every Insert) — no row
+// enumeration, so it costs the same whether the backend is a Go slice or a
+// paged segment file on disk. In the paper this runs over a representative
 // sample during setup; here the catalog is the sample.
 func CollectStats(cat *storage.Catalog) *Stats {
 	s := &Stats{Tables: make(map[string]*TableStats)}
@@ -48,41 +51,21 @@ func CollectStats(cat *storage.Catalog) *Stats {
 			continue
 		}
 		ts := &TableStats{
-			Rows:  int64(len(t.Rows)),
+			Rows:  int64(t.NumRows()),
 			Bytes: t.Bytes,
 			Cols:  make(map[string]*ColStats),
 		}
 		for ci, col := range t.Schema.Cols {
-			cs := &ColStats{Kind: colKind(col.Type)}
-			distinct := make(map[string]bool)
-			var totalLen int64
-			first := true
-			for _, row := range t.Rows {
-				v := row[ci]
-				if v.IsNull() {
-					continue
-				}
-				if len(distinct) < 100000 {
-					distinct[v.HashKey()] = true
-				}
-				totalLen += int64(v.Size())
-				if v.IsNumeric() {
-					x := v.AsInt()
-					if first || x < cs.Min {
-						cs.Min = x
-					}
-					if first || x > cs.Max {
-						cs.Max = x
-					}
-					first = false
-				}
-			}
-			cs.NDV = int64(len(distinct))
+			cm := t.ColMeta(ci)
+			cs := &ColStats{Kind: colKind(col.Type), NDV: cm.NDV}
 			if cs.NDV == 0 {
 				cs.NDV = 1
 			}
+			if cm.HasNum {
+				cs.Min, cs.Max = cm.Min, cm.Max
+			}
 			if ts.Rows > 0 {
-				cs.AvgLen = int(totalLen / ts.Rows)
+				cs.AvgLen = int(cm.TotalLen / ts.Rows)
 			}
 			ts.Cols[col.Name] = cs
 		}

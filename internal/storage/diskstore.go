@@ -1,0 +1,517 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// diskStore is the paged disk backend: one append-only segment file per
+// table.
+//
+// Segment layout:
+//
+//	offset 0              ┌──────────────────────────────────────────┐
+//	                      │ magic "MONOSEG1" (8) │ version u32       │
+//	                      │ pageSize u32 │ metaLen u32 │ meta JSON   │
+//	                      │ (schema, index specs, row count)  … pad  │
+//	offset pageSize       ├──────────────────────────────────────────┤
+//	                      │ page 0: nrows u32 │ used u32 │ crc32 u32 │
+//	                      │   row: len u32 │ value frames …          │
+//	                      │   row: len u32 │ value frames …   … pad  │
+//	offset pageSize*2     ├──────────────────────────────────────────┤
+//	                      │ page 1: …                                │
+//	                      └──────────────────────────────────────────┘
+//
+// Pages are fixed-size (pageSize); a single row too large for one page
+// gets an oversized page of exactly header+row bytes, so page offsets stay
+// derivable by one forward header walk. Values use the wire encoding
+// (internal/wire) except Bool, which the wire flattens into Int — the page
+// codec adds a local tag so every column kind round-trips. Rows are
+// buffered in an in-memory tail page and written out when the page fills
+// or on Flush (the tail page is rewritten in place until it seals), so an
+// encryption-time bulk load writes each page roughly once.
+//
+// Reads go through an LRU block cache of decoded pages with hit/miss
+// counters; a cache miss is exactly one physical page read, and Scan/Fetch
+// report the bytes those misses read — the number the engine charges in
+// place of the in-memory resident-byte approximation (Paged() == true).
+//
+// Every integrity failure — bad magic or geometry, truncated or
+// checksum-corrupt page, undecodable row, a row count short of the
+// metadata — returns a *SegmentError wrapping ErrCorruptSegment.
+type diskStore struct {
+	path     string
+	f        *os.File
+	pageSize int
+
+	mu       sync.Mutex
+	dir      []pageMeta      // sealed pages, in file order
+	nflushed int             // rows held by sealed pages
+	tail     [][]value.Value // rows not yet in a sealed page (decoded)
+	tailBuf  []byte          // their encoded payload
+	tailOff  int64           // file offset the tail page writes to
+	cache    *blockCache
+	io       IOStats
+}
+
+// pageMeta locates one sealed page.
+type pageMeta struct {
+	off     int64
+	physLen int64
+	first   int   // row id of the page's first row
+	nrows   int
+}
+
+const (
+	segMagic      = "MONOSEG1"
+	segVersion    = 1
+	segHeaderLen  = 8 + 4 + 4 + 4 // magic, version, pageSize, metaLen
+	pageHeaderLen = 4 + 4 + 4     // nrows, used, crc32
+	// pageTagBool is the page codec's local tag for Bool values: the wire
+	// encoding (reused for every other kind) flattens Bool into Int, which
+	// must not survive a round trip through the row store.
+	pageTagBool = 6
+)
+
+// segPath is the segment file of a table.
+func segPath(dir, table string) string { return filepath.Join(dir, table+".seg") }
+
+// createDiskStore starts an empty segment file, writing the header and the
+// initial metadata.
+func createDiskStore(cfg BackendConfig, meta *SegmentMeta) (*diskStore, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("storage: disk backend needs BackendConfig.Dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := segPath(cfg.Dir, meta.Schema.Name)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	ds := &diskStore{
+		path: path, f: f, pageSize: cfg.pageBytes(),
+		tailOff: int64(cfg.pageBytes()),
+		cache:   newBlockCache(cfg.cacheBytes()),
+	}
+	if err := ds.writeMeta(meta); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ds, nil
+}
+
+// openDiskStore opens an existing segment, verifies its geometry and every
+// page checksum (the directory walk reads only headers; checksums verify
+// lazily as pages are read, and the caller's rebuild scan reads them all),
+// and returns the store plus the persisted metadata.
+func openDiskStore(path string, cfg BackendConfig) (*diskStore, *SegmentMeta, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := &diskStore{path: path, f: f}
+	meta, err := ds.readHeader()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	ds.cache = newBlockCache(cfg.cacheBytes())
+	if err := ds.buildDir(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if ds.nflushed != meta.Rows {
+		off := int64(ds.pageSize)
+		if n := len(ds.dir); n > 0 {
+			off = ds.dir[n-1].off
+		}
+		f.Close()
+		return nil, nil, corruptf(path, off, "segment holds %d rows, metadata promises %d (truncated?)", ds.nflushed, meta.Rows)
+	}
+	return ds, meta, nil
+}
+
+// writeMeta serializes the table metadata into the header area. The header
+// region is the first page; metadata that outgrows it is a configuration
+// error, not data corruption.
+func (ds *diskStore) writeMeta(meta *SegmentMeta) error {
+	body, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if segHeaderLen+len(body) > ds.pageSize {
+		return fmt.Errorf("storage: segment %s: metadata (%d bytes) exceeds page size %d", ds.path, len(body), ds.pageSize)
+	}
+	buf := make([]byte, 0, segHeaderLen+len(body))
+	buf = append(buf, segMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, segVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(ds.pageSize))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	_, err = ds.f.WriteAt(buf, 0)
+	return err
+}
+
+// readHeader parses the segment header and metadata.
+func (ds *diskStore) readHeader() (*SegmentMeta, error) {
+	hdr := make([]byte, segHeaderLen)
+	if _, err := ds.f.ReadAt(hdr, 0); err != nil {
+		return nil, corruptf(ds.path, 0, "short header: %v", err)
+	}
+	if string(hdr[:8]) != segMagic {
+		return nil, corruptf(ds.path, 0, "bad magic %q", hdr[:8])
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != segVersion {
+		return nil, corruptf(ds.path, 8, "unsupported version %d", v)
+	}
+	ds.pageSize = int(binary.BigEndian.Uint32(hdr[12:16]))
+	if ds.pageSize < segHeaderLen+pageHeaderLen || ds.pageSize > 1<<26 {
+		return nil, corruptf(ds.path, 12, "implausible page size %d", ds.pageSize)
+	}
+	metaLen := int(binary.BigEndian.Uint32(hdr[16:20]))
+	if segHeaderLen+metaLen > ds.pageSize {
+		return nil, corruptf(ds.path, 16, "metadata length %d exceeds page size %d", metaLen, ds.pageSize)
+	}
+	body := make([]byte, metaLen)
+	if _, err := ds.f.ReadAt(body, segHeaderLen); err != nil {
+		return nil, corruptf(ds.path, segHeaderLen, "short metadata: %v", err)
+	}
+	meta := &SegmentMeta{}
+	if err := json.Unmarshal(body, meta); err != nil {
+		return nil, corruptf(ds.path, segHeaderLen, "undecodable metadata: %v", err)
+	}
+	return meta, nil
+}
+
+// buildDir walks the page headers from the first data offset to the end of
+// the file, reconstructing the page directory.
+func (ds *diskStore) buildDir() error {
+	fi, err := ds.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	off := int64(ds.pageSize)
+	for off < size {
+		hdr := make([]byte, pageHeaderLen)
+		if off+pageHeaderLen > size {
+			return corruptf(ds.path, off, "truncated page header")
+		}
+		if _, err := ds.f.ReadAt(hdr, off); err != nil {
+			return corruptf(ds.path, off, "unreadable page header: %v", err)
+		}
+		nrows := int(binary.BigEndian.Uint32(hdr[0:4]))
+		used := int(binary.BigEndian.Uint32(hdr[4:8]))
+		physLen := int64(ds.pageSize)
+		if int64(pageHeaderLen+used) > physLen {
+			physLen = int64(pageHeaderLen + used)
+		}
+		if off+physLen > size {
+			return corruptf(ds.path, off, "truncated page: %d payload bytes past end of file", off+physLen-size)
+		}
+		if nrows == 0 || used == 0 {
+			return corruptf(ds.path, off, "empty page (%d rows, %d bytes)", nrows, used)
+		}
+		ds.dir = append(ds.dir, pageMeta{off: off, physLen: physLen, first: ds.nflushed, nrows: nrows})
+		ds.nflushed += nrows
+		off += physLen
+	}
+	ds.tailOff = off
+	return nil
+}
+
+// --- value codec (wire encoding + a Bool tag) ---
+
+// appendRow frames one row: u32 total value-frame length, then each value.
+func appendRow(dst []byte, row []value.Value) ([]byte, error) {
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	start := len(dst)
+	var err error
+	for _, v := range row {
+		if v.K == value.Bool {
+			b := byte(0)
+			if v.I != 0 {
+				b = 1
+			}
+			dst = append(dst, pageTagBool, b)
+			continue
+		}
+		if dst, err = wire.AppendValue(dst, v); err != nil {
+			return nil, err
+		}
+	}
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-start))
+	return dst, nil
+}
+
+// decodeRowAt decodes the row frame starting at b[pos], returning the row
+// and the next position.
+func decodeRowAt(b []byte, pos int) ([]value.Value, int, error) {
+	if pos+4 > len(b) {
+		return nil, 0, fmt.Errorf("truncated row length")
+	}
+	n := int(binary.BigEndian.Uint32(b[pos : pos+4]))
+	pos += 4
+	if pos+n > len(b) {
+		return nil, 0, fmt.Errorf("row frame (%d bytes) past end of page", n)
+	}
+	end := pos + n
+	var row []value.Value
+	for pos < end {
+		if b[pos] == pageTagBool {
+			if pos+2 > end {
+				return nil, 0, fmt.Errorf("truncated bool")
+			}
+			row = append(row, value.NewBool(b[pos+1] != 0))
+			pos += 2
+			continue
+		}
+		v, used, err := wire.DecodeValue(b[pos:end])
+		if err != nil {
+			return nil, 0, err
+		}
+		row = append(row, v)
+		pos += used
+	}
+	return row, end, nil
+}
+
+// --- writes ---
+
+func (ds *diskStore) Append(row []value.Value) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	before := len(ds.tailBuf)
+	buf, err := appendRow(ds.tailBuf, row)
+	if err != nil {
+		return err
+	}
+	frame := len(buf) - before
+	// A full tail page seals before this row starts a fresh one; a row that
+	// alone overflows a page seals immediately as an oversized page.
+	if before > 0 && len(buf)+pageHeaderLen > ds.pageSize {
+		ds.tailBuf = buf[:before]
+		if err := ds.sealTail(); err != nil {
+			return err
+		}
+		buf = append(ds.tailBuf, buf[before:before+frame]...)
+	}
+	ds.tailBuf = buf
+	ds.tail = append(ds.tail, row)
+	if len(ds.tailBuf)+pageHeaderLen >= ds.pageSize {
+		return ds.sealTail()
+	}
+	return nil
+}
+
+// writeTailPage writes the current tail rows as a page at tailOff and
+// returns its physical length. Padding zero-fills to the page size.
+func (ds *diskStore) writeTailPage() (int64, error) {
+	used := len(ds.tailBuf)
+	physLen := ds.pageSize
+	if pageHeaderLen+used > physLen {
+		physLen = pageHeaderLen + used
+	}
+	page := make([]byte, physLen)
+	binary.BigEndian.PutUint32(page[0:4], uint32(len(ds.tail)))
+	binary.BigEndian.PutUint32(page[4:8], uint32(used))
+	binary.BigEndian.PutUint32(page[8:12], crc32.ChecksumIEEE(ds.tailBuf))
+	copy(page[pageHeaderLen:], ds.tailBuf)
+	if _, err := ds.f.WriteAt(page, ds.tailOff); err != nil {
+		return 0, err
+	}
+	return int64(physLen), nil
+}
+
+// sealTail writes the tail page out and starts a new one.
+func (ds *diskStore) sealTail() error {
+	if len(ds.tail) == 0 {
+		return nil
+	}
+	physLen, err := ds.writeTailPage()
+	if err != nil {
+		return err
+	}
+	// The partial tail may have been written by an earlier Flush and cached
+	// by a read since; it just changed shape.
+	ds.cache.drop(len(ds.dir))
+	ds.dir = append(ds.dir, pageMeta{off: ds.tailOff, physLen: physLen, first: ds.nflushed, nrows: len(ds.tail)})
+	ds.nflushed += len(ds.tail)
+	ds.tailOff += physLen
+	ds.tail = nil
+	ds.tailBuf = nil
+	return nil
+}
+
+func (ds *diskStore) Flush(meta *SegmentMeta) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	// The partial tail page is written in place but stays open in memory:
+	// later appends extend it and rewrite the same offset.
+	if len(ds.tail) > 0 {
+		if _, err := ds.writeTailPage(); err != nil {
+			return err
+		}
+	}
+	return ds.writeMeta(meta)
+}
+
+func (ds *diskStore) Close() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.f == nil {
+		return nil
+	}
+	err := ds.f.Sync()
+	cerr := ds.f.Close()
+	ds.f = nil
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- reads ---
+
+func (ds *diskStore) NumRows() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.nflushed + len(ds.tail)
+}
+
+func (ds *diskStore) Paged() bool { return true }
+
+func (ds *diskStore) IO() IOStats {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.io
+}
+
+// pageAt returns the directory position of the sealed page holding row id.
+func (ds *diskStore) pageAt(id int) int {
+	return sort.Search(len(ds.dir), func(i int) bool {
+		return ds.dir[i].first+ds.dir[i].nrows > id
+	})
+}
+
+// readPage returns the decoded rows of sealed page pi, via the block
+// cache; the second result is the physical bytes this call read (the
+// page's size on a miss, 0 on a hit). Callers hold ds.mu.
+func (ds *diskStore) readPage(pi int) ([][]value.Value, int64, error) {
+	if rows := ds.cache.get(pi); rows != nil {
+		return rows, 0, nil
+	}
+	pm := ds.dir[pi]
+	raw := make([]byte, pm.physLen)
+	if _, err := ds.f.ReadAt(raw, pm.off); err != nil {
+		return nil, 0, corruptf(ds.path, pm.off, "unreadable page: %v", err)
+	}
+	nrows := int(binary.BigEndian.Uint32(raw[0:4]))
+	used := int(binary.BigEndian.Uint32(raw[4:8]))
+	sum := binary.BigEndian.Uint32(raw[8:12])
+	if nrows != pm.nrows || pageHeaderLen+used > len(raw) {
+		return nil, 0, corruptf(ds.path, pm.off, "page header changed shape (%d rows, %d bytes)", nrows, used)
+	}
+	payload := raw[pageHeaderLen : pageHeaderLen+used]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, corruptf(ds.path, pm.off, "page checksum mismatch")
+	}
+	rows := make([][]value.Value, 0, nrows)
+	pos := 0
+	for r := 0; r < nrows; r++ {
+		row, next, err := decodeRowAt(payload, pos)
+		if err != nil {
+			return nil, 0, corruptf(ds.path, pm.off+int64(pageHeaderLen+pos), "row %d: %v", pm.first+r, err)
+		}
+		rows = append(rows, row)
+		pos = next
+	}
+	if pos != used {
+		return nil, 0, corruptf(ds.path, pm.off, "page has %d trailing payload bytes", used-pos)
+	}
+	ds.cache.put(pi, rows, pm.physLen)
+	ds.io.PageReads++
+	ds.io.BytesRead += pm.physLen
+	return rows, pm.physLen, nil
+}
+
+func (ds *diskStore) Scan(lo, hi int) ([][]value.Value, int64, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	n := ds.nflushed + len(ds.tail)
+	if lo < 0 || hi > n || lo > hi {
+		return nil, 0, fmt.Errorf("storage: scan [%d,%d) out of range (%d rows)", lo, hi, n)
+	}
+	out := make([][]value.Value, 0, hi-lo)
+	var phys int64
+	for id := lo; id < hi && id < ds.nflushed; {
+		pi := ds.pageAt(id)
+		pm := ds.dir[pi]
+		rows, p, err := ds.readPage(pi)
+		if err != nil {
+			return nil, 0, err
+		}
+		phys += p
+		end := pm.first + pm.nrows
+		if end > hi {
+			end = hi
+		}
+		out = append(out, rows[id-pm.first:end-pm.first]...)
+		id = end
+	}
+	if hi > ds.nflushed {
+		start := lo
+		if start < ds.nflushed {
+			start = ds.nflushed
+		}
+		out = append(out, ds.tail[start-ds.nflushed:hi-ds.nflushed]...)
+	}
+	ds.mirrorIO(phys)
+	return out, phys, nil
+}
+
+func (ds *diskStore) Fetch(ids []int32) ([][]value.Value, int64, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	n := ds.nflushed + len(ds.tail)
+	out := make([][]value.Value, len(ids))
+	var phys int64
+	for i, id32 := range ids {
+		id := int(id32)
+		if id < 0 || id >= n {
+			return nil, 0, fmt.Errorf("storage: fetch id %d out of range (%d rows)", id, n)
+		}
+		if id >= ds.nflushed {
+			out[i] = ds.tail[id-ds.nflushed]
+			continue
+		}
+		pi := ds.pageAt(id)
+		rows, p, err := ds.readPage(pi)
+		if err != nil {
+			return nil, 0, err
+		}
+		phys += p
+		out[i] = rows[id-ds.dir[pi].first]
+	}
+	ds.mirrorIO(phys)
+	return out, phys, nil
+}
+
+// mirrorIO folds the cache's hit/miss counters into the IO snapshot (the
+// cache mutates under ds.mu, so a plain copy is race-free).
+func (ds *diskStore) mirrorIO(int64) {
+	ds.io.CacheHits = ds.cache.hits
+	ds.io.CacheMisses = ds.cache.misses
+}

@@ -114,7 +114,8 @@ func TestInternRoundTrip(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		tb.MustInsert([]value.Value{value.NewInt(int64(i)), value.NewStr("hello")})
 	}
-	for i, row := range tb.Rows {
+	allRows, _, _ := tb.ScanRows(0, tb.NumRows())
+	for i, row := range allRows {
 		if row[1].S != "hello" {
 			t.Fatalf("row %d: interning changed the value: %v", i, row[1])
 		}
@@ -172,7 +173,7 @@ func TestIndexScanEqualsFullScan(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		probe := value.NewStr(fmt.Sprintf("s%d", rng.Intn(50)))
 		var want []int32
-		for id, row := range tb.Rows {
+		for id, row := range mustScan(t, tb) {
 			if !row[1].IsNull() && value.Compare(row[1], probe) == 0 {
 				want = append(want, int32(id))
 			}
@@ -187,7 +188,7 @@ func TestIndexScanEqualsFullScan(t *testing.T) {
 		}
 		lo, hi := value.NewInt(a), value.NewInt(b)
 		var wantR []int32
-		for id, row := range tb.Rows {
+		for id, row := range mustScan(t, tb) {
 			if !row[0].IsNull() && value.Compare(row[0], lo) >= 0 && value.Compare(row[0], hi) <= 0 {
 				wantR = append(wantR, int32(id))
 			}
@@ -211,8 +212,8 @@ func TestUniqueKeyRejectsDuplicates(t *testing.T) {
 	if err == nil {
 		t.Fatal("duplicate key accepted")
 	}
-	if len(tb.Rows) != 2 || tb.Bytes == 0 {
-		t.Fatalf("failed insert mutated the table: %d rows", len(tb.Rows))
+	if tb.NumRows() != 2 || tb.Bytes == 0 {
+		t.Fatalf("failed insert mutated the table: %d rows", tb.NumRows())
 	}
 	before := tb.Bytes
 	if err := tb.Insert([]value.Value{value.NewNull(), value.NewStr("d")}); err != nil {
@@ -282,4 +283,15 @@ func TestIndexClassGuards(t *testing.T) {
 	if ix.Usable(value.Str) || ix.Usable(value.Null) {
 		t.Fatal("cross-class literal must not be usable")
 	}
+}
+
+// mustScan returns every row of tb (test iteration; queries use ScanRows
+// with charging).
+func mustScan(t *testing.T, tb *Table) [][]value.Value {
+	t.Helper()
+	rows, _, err := tb.ScanRows(0, tb.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
 }

@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestNDVSketchExactBelowLimit: the sketch is exact while sparse, so small
+// tables (every fixture) keep the planner selectivities of the
+// enumerate-all-rows era.
+func TestNDVSketchExactBelowLimit(t *testing.T) {
+	var s ndvSketch
+	for i := 0; i < 5000; i++ {
+		s.add(fmt.Sprintf("k%d", i%1000))
+	}
+	if got := s.estimate(); got != 1000 {
+		t.Fatalf("sparse estimate = %d, want exactly 1000", got)
+	}
+}
+
+// TestNDVSketchDenseAccuracy: past the sparse limit the HLL estimate stays
+// within a loose error band (m=256 → ~6.5% standard error).
+func TestNDVSketchDenseAccuracy(t *testing.T) {
+	for _, n := range []int{10000, 50000, 200000} {
+		var s ndvSketch
+		for i := 0; i < n; i++ {
+			s.add(fmt.Sprintf("key-%d", i))
+		}
+		got := float64(s.estimate())
+		if got < 0.75*float64(n) || got > 1.25*float64(n) {
+			t.Errorf("estimate(%d distinct) = %.0f, off by more than 25%%", n, got)
+		}
+	}
+}
+
+// TestNDVSketchDuplicatesDense: duplicates past the collapse never inflate
+// the estimate.
+func TestNDVSketchDuplicatesDense(t *testing.T) {
+	var s ndvSketch
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 20000; i++ {
+			s.add(fmt.Sprintf("key-%d", i))
+		}
+	}
+	got := float64(s.estimate())
+	if got < 0.75*20000 || got > 1.25*20000 {
+		t.Errorf("estimate after duplicate passes = %.0f, want ~20000", got)
+	}
+}
+
+// TestColMetaObserve: column metadata tracks width, bounds, and NDV the way
+// the planner's old row enumeration did (NULLs skipped).
+func TestColMetaObserve(t *testing.T) {
+	var m colMeta
+	m.observe(value.NewInt(7))
+	m.observe(value.NewInt(-3))
+	m.observe(value.NewInt(7))
+	m.observe(value.NewNull())
+	cm := m.snapshot()
+	if cm.NDV != 2 {
+		t.Errorf("NDV = %d, want 2", cm.NDV)
+	}
+	if !cm.HasNum || cm.Min != -3 || cm.Max != 7 {
+		t.Errorf("bounds = [%d,%d] hasNum=%v", cm.Min, cm.Max, cm.HasNum)
+	}
+	if cm.TotalLen != 24 {
+		t.Errorf("TotalLen = %d, want 24 (3 non-NULL ints)", cm.TotalLen)
+	}
+
+	var ms colMeta
+	ms.observe(value.NewStr("abc"))
+	ms.observe(value.NewStr("abc"))
+	cs := ms.snapshot()
+	if cs.NDV != 1 || cs.HasNum || cs.TotalLen != 6 {
+		t.Errorf("str meta = %+v", cs)
+	}
+}

@@ -30,9 +30,9 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	li1, _ := a.Table("lineitem")
 	li2, _ := c.Table("lineitem")
-	if value.Equal(li1.Rows[0][5], li2.Rows[0][5]) &&
-		value.Equal(li1.Rows[1][5], li2.Rows[1][5]) &&
-		value.Equal(li1.Rows[2][5], li2.Rows[2][5]) {
+	if value.Equal(li1.Row(0)[5], li2.Row(0)[5]) &&
+		value.Equal(li1.Row(1)[5], li2.Row(1)[5]) &&
+		value.Equal(li1.Row(2)[5], li2.Row(2)[5]) {
 		t.Error("different seeds should produce different prices")
 	}
 }

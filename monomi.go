@@ -298,6 +298,40 @@ type Options struct {
 	// with indexes on or off; only scan cost changes. DefaultOptions
 	// enables it; toggle later with System.SetIndexes.
 	Indexes bool
+	// Backend selects the encrypted catalog's physical row store: "" or
+	// "mem" keeps rows in memory (the original layout); "disk" loads each
+	// encrypted table into an append-only paged segment file under DataDir,
+	// read back through an LRU block cache. Results are byte-identical
+	// across backends at every ⟨Parallelism, BatchSize, wire, deployment⟩
+	// combination; what changes is the charged I/O — a disk-backed scan
+	// charges its real page reads (block-cache misses) instead of the
+	// resident-byte approximation.
+	Backend string
+	// DataDir is where the disk backend places its segment files
+	// (required when Backend is "disk").
+	DataDir string
+	// PageBytes is the disk backend's segment page size
+	// (0 = storage.DefaultPageBytes).
+	PageBytes int
+	// BlockCacheBytes is the disk backend's block-cache capacity
+	// (0 = storage.DefaultCacheBytes).
+	BlockCacheBytes int64
+}
+
+// backendConfig resolves the Options backend fields into a storage config.
+func (o Options) backendConfig() (storage.BackendConfig, error) {
+	kind, err := storage.ParseBackendKind(o.Backend)
+	if err != nil {
+		return storage.BackendConfig{}, err
+	}
+	cfg := storage.BackendConfig{
+		Kind: kind, Dir: o.DataDir,
+		PageBytes: o.PageBytes, CacheBytes: o.BlockCacheBytes,
+	}
+	if kind == storage.BackendDisk && cfg.Dir == "" {
+		return storage.BackendConfig{}, fmt.Errorf("monomi: Backend \"disk\" requires DataDir")
+	}
+	return cfg, nil
 }
 
 // DefaultOptions returns the paper's configuration: 1,024-bit Paillier,
@@ -368,7 +402,11 @@ func Encrypt(db *Database, workload Workload, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	encDB, err := enc.EncryptDatabaseParallel(db.cat, dres.Design, ks, opts.Parallelism)
+	becfg, err := opts.backendConfig()
+	if err != nil {
+		return nil, err
+	}
+	encDB, err := enc.EncryptDatabaseOn(db.cat, dres.Design, ks, opts.Parallelism, becfg)
 	if err != nil {
 		return nil, err
 	}
@@ -539,6 +577,11 @@ func (s *System) Close() error {
 	s.client.Close()
 	if s.ownsKeys {
 		s.keys.Close()
+		// The encrypted catalog may hold disk-backed tables; flush their
+		// segment metadata and release the file handles.
+		if s.encDB != nil {
+			s.encDB.Cat.Close()
+		}
 	}
 	if s.conn != nil {
 		return s.conn.Close()
@@ -719,6 +762,22 @@ type Stats struct {
 	// low-cardinality columns intern well).
 	EncBytes    int64
 	EncRawBytes int64
+	// PageReads / CacheHits / CacheMisses / PageBytesRead are the disk
+	// backend's cumulative physical-read counters across the encrypted
+	// tables (all zero on the in-memory backend): pages read from disk,
+	// block-cache lookups served without a read, lookups that went to
+	// disk, and the physical bytes those reads moved.
+	PageReads     int64
+	CacheHits     int64
+	CacheMisses   int64
+	PageBytesRead int64
+}
+
+// CacheHitRate is the disk backend's block-cache hit fraction (1 when no
+// page lookups happened, e.g. on the in-memory backend).
+func (st Stats) CacheHitRate() float64 {
+	io := storage.IOStats{CacheHits: st.CacheHits, CacheMisses: st.CacheMisses}
+	return io.HitRate()
 }
 
 // InternRatio is the dictionary-interning space saving: raw over resident
@@ -738,6 +797,9 @@ func (s *System) Stats() Stats {
 		EncBytes:    s.encDB.Cat.TotalBytes(),
 		EncRawBytes: s.encDB.Cat.TotalRawBytes(),
 	}
+	io := s.encDB.Cat.IO()
+	st.PageReads, st.CacheHits = io.PageReads, io.CacheHits
+	st.CacheMisses, st.PageBytesRead = io.CacheMisses, io.BytesRead
 	if s.client.Srv != nil {
 		st.IndexLookups, st.RowsSkippedByIndex = s.client.Srv.Engine.IndexStats()
 	}

@@ -1,6 +1,7 @@
 package monomi
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -219,5 +220,81 @@ func TestFacadeStats(t *testing.T) {
 	}
 	if again := sys.Stats(); again.IndexLookups != st.IndexLookups {
 		t.Errorf("lookups moved with indexes off: %d -> %d", st.IndexLookups, again.IndexLookups)
+	}
+}
+
+// TestFacadeStatsIndexedInParams pins the index-served IN fast path end to
+// end: a prepared `IN (:a, :b)` statement runs warm through the plan cache,
+// which hoists the encrypted literals into :cpN wire params — and the DET
+// hash index must still probe once per IN element on every warm execution,
+// in-process and over the transport.
+func TestFacadeStatsIndexedInParams(t *testing.T) {
+	db := NewDatabase()
+	db.MustCreateTable("ev", Col("e_id", Int), Col("e_cat", String))
+	rare := []string{"emerald", "ruby", "topaz"}
+	for i := 0; i < 300; i++ {
+		cat := "common"
+		if i%50 == 0 {
+			cat = rare[(i/50)%len(rare)]
+		}
+		db.MustInsert("ev", i, cat)
+	}
+	opts := DefaultOptions()
+	opts.PaillierBits = 256
+	sys, err := Encrypt(db, Workload{
+		"probe": `SELECT COUNT(*) FROM ev WHERE e_cat IN ('emerald', 'ruby')`,
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv, err := sys.Serve("127.0.0.1:0", ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rem, err := sys.ConnectRemote(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	bindings := [][2]string{{"emerald", "ruby"}, {"ruby", "topaz"}, {"topaz", "emerald"}}
+	for _, d := range []struct {
+		name string
+		s    *System
+	}{{"inproc", sys}, {"wire", rem}} {
+		stmt, err := d.s.Prepare(`SELECT e_id FROM ev WHERE e_cat IN (:a, :b) ORDER BY e_id`)
+		if err != nil {
+			t.Fatalf("%s prepare: %v", d.name, err)
+		}
+		d.s.ResetPlanCache()
+		prev := sys.Stats().IndexLookups
+		for i, b := range bindings {
+			res, err := stmt.Query(map[string]any{"a": b[0], "b": b[1]})
+			if err != nil {
+				t.Fatalf("%s exec %d: %v", d.name, i, err)
+			}
+			plain, err := sys.QueryPlaintext(fmt.Sprintf(
+				`SELECT e_id FROM ev WHERE e_cat IN ('%s', '%s') ORDER BY e_id`, b[0], b[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := canonicalRows(t, res.Data, true)
+			want := canonicalRows(t, plain.Data, true)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("%s exec %d diverges from plaintext:\n%v\nvs\n%v", d.name, i, got, want)
+			}
+			if i > 0 && !res.PlanCacheHit {
+				t.Errorf("%s exec %d: warm IN execution missed the plan cache", d.name, i)
+			}
+			st := sys.Stats()
+			if st.IndexLookups < prev+2 {
+				t.Errorf("%s exec %d: IndexLookups %d -> %d, want one probe per IN element",
+					d.name, i, prev, st.IndexLookups)
+			}
+			prev = st.IndexLookups
+		}
+		stmt.Close()
 	}
 }
