@@ -1,0 +1,186 @@
+// Command monomi-lint is the MONOMI static-analysis multichecker: it runs
+// the internal/lint suite (trustflow, wraperr, atomicstats, lockcrypt)
+// over the repository and fails when an invariant of the paper's trust
+// model or of the repo's concurrency/error contracts is violated.
+//
+// Standalone (package patterns, as in CI):
+//
+//	go run ./cmd/monomi-lint ./...
+//	go run ./cmd/monomi-lint -json ./internal/...
+//	go run ./cmd/monomi-lint -run trustflow,wraperr ./internal/server
+//
+// As a go vet tool (cmd/go drives one invocation per package):
+//
+//	go build -o /tmp/monomi-lint ./cmd/monomi-lint
+//	go vet -vettool=/tmp/monomi-lint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage/load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// version participates in the go vet tool-ID handshake (`monomi-lint
+// -V=full` must print "<name> version <non-devel version>"); bump it when
+// analyzer semantics change so go vet's result cache invalidates.
+const version = "1.0.0"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("monomi-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	printVersion := fs.String("V", "", "print version ('full' for the go vet handshake)")
+	printFlags := fs.Bool("flags", false, "print the flag set as JSON (go vet handshake)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: monomi-lint [-json] [-run a,b] <packages|vet.cfg>\n\nAnalyzers:\n")
+		for _, a := range lint.All {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// go vet handshakes: tool identity, then supported flags.
+	if *printVersion != "" {
+		fmt.Printf("monomi-lint version %s\n", version)
+		return 0
+	}
+	if *printFlags {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		flags := []jsonFlag{
+			{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+			{Name: "run", Bool: false, Usage: "comma-separated analyzer subset"},
+		}
+		out, _ := json.Marshal(flags)
+		fmt.Println(string(out))
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	// go vet mode: a single argument naming a vet.cfg file.
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		return runVetConfig(fs.Arg(0), analyzers, *jsonOut)
+	}
+	return runPatterns(fs.Args(), analyzers, *jsonOut)
+}
+
+// selectAnalyzers resolves a -run list ("" means the full suite).
+func selectAnalyzers(runList string) ([]*lint.Analyzer, error) {
+	if runList == "" {
+		return lint.All, nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(runList, ",") {
+		name = strings.TrimSpace(name)
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("monomi-lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runPatterns is standalone mode: load every matching package of the
+// module rooted at the working directory and analyze each.
+func runPatterns(patterns []string, analyzers []*lint.Analyzer, jsonOut bool) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := lint.LoadPackages(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := lint.Analyze(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		all = append(all, diags...)
+	}
+	return report(all, jsonOut)
+}
+
+// runVetConfig is go vet mode: analyze the one package a vet.cfg
+// describes. Dependency passes (VetxOnly) succeed immediately — the suite
+// computes no cross-package facts.
+func runVetConfig(cfgPath string, analyzers []*lint.Analyzer, jsonOut bool) int {
+	pkg, cfg, err := lint.LoadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if cfg != nil && cfg.VetxOutput != "" {
+		// cmd/go caches the tool's per-package output via this file; an
+		// empty facts file is valid for a fact-free suite.
+		_ = os.WriteFile(cfg.VetxOutput, []byte("monomi-lint: no facts\n"), 0o666)
+	}
+	if pkg == nil {
+		return 0
+	}
+	diags, err := lint.Analyze(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	return report(diags, jsonOut)
+}
+
+// report prints diagnostics (plain to stderr in the familiar
+// file:line:col form, or JSON to stdout) and returns the exit status.
+func report(diags []lint.Diagnostic, jsonOut bool) int {
+	if jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // render as [], never null
+		}
+		out, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Println(string(out))
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "monomi-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

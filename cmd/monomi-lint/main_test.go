@@ -1,0 +1,168 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// buildOnce compiles the monomi-lint binary a single time per test run.
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "monomi-lint")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "monomi-lint")
+		cmd := exec.Command("go", "build", "-o", binPath, "./cmd/monomi-lint")
+		cmd.Dir = moduleRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building monomi-lint: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+// runLint executes the binary and returns stdout, stderr, and exit code.
+func runLint(t *testing.T, dir string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binary(t), args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running monomi-lint: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestVetHandshake checks the two probes cmd/go sends a vettool before
+// trusting it: -V=full must print a versioned identity, -flags a JSON
+// flag description.
+func TestVetHandshake(t *testing.T) {
+	stdout, _, code := runLint(t, moduleRoot(t), "-V=full")
+	if code != 0 || !strings.HasPrefix(stdout, "monomi-lint version ") || strings.Contains(stdout, "devel") {
+		t.Errorf("-V=full handshake: exit %d, output %q", code, stdout)
+	}
+	stdout, _, code = runLint(t, moduleRoot(t), "-flags")
+	if code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+	var flags []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal([]byte(stdout), &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, stdout)
+	}
+	if len(flags) == 0 {
+		t.Error("-flags reported no flags")
+	}
+}
+
+// TestCleanTreeJSON runs the suite over the whole repository with -json:
+// the tree must be clean (exit 0) and the output a well-formed, empty
+// JSON array — never null.
+func TestCleanTreeJSON(t *testing.T) {
+	stdout, stderr, code := runLint(t, moduleRoot(t), "-json", "./...")
+	if code != 0 {
+		t.Fatalf("monomi-lint -json ./... exited %d\nstderr: %s\nstdout: %s", code, stderr, stdout)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostics array: %v\n%s", err, stdout)
+	}
+	if diags == nil {
+		t.Error("-json emitted null instead of []")
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean tree reported %d findings", len(diags))
+	}
+}
+
+// TestGoVetVettool drives the binary through the real cmd/go protocol:
+// `go vet -vettool=...` hands it a vet.cfg per package (including
+// test-only variants it must skip) and expects the facts file written.
+func TestGoVetVettool(t *testing.T) {
+	cmd := exec.Command("go", "vet", "-vettool="+binary(t),
+		"./internal/packing", "./internal/storage/...")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}
+
+// TestVetConfigViolation feeds the binary a hand-built vet.cfg that
+// compiles the trustflow violations fixture at an untrusted import path:
+// the run must report findings (exit 1) and still write the facts file
+// cmd/go caches on.
+func TestVetConfigViolation(t *testing.T) {
+	root := moduleRoot(t)
+	exports, err := lint.ModuleExports(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	fixtureDir := filepath.Join(root, "internal/lint/testdata/trustflow/violations")
+	cfg := lint.VetConfig{
+		ID:          "repro/internal/engine/lintfixture",
+		Compiler:    "gc",
+		Dir:         fixtureDir,
+		ImportPath:  "repro/internal/engine/lintfixture",
+		GoFiles:     []string{filepath.Join(fixtureDir, "fixture.go")},
+		PackageFile: exports,
+		VetxOutput:  filepath.Join(tmp, "fixture.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(tmp, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stderr, code := runLint(t, root, cfgPath)
+	if code != 1 {
+		t.Fatalf("planted violation: exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "[trustflow]") {
+		t.Errorf("stderr lacks trustflow findings:\n%s", stderr)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}

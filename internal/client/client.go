@@ -253,7 +253,7 @@ func (c *Client) ExecutePlan(plan *planner.Plan) (*Result, error) {
 // PlanCacheStats snapshots the plan cache's hit/miss/eviction counters.
 func (c *Client) PlanCacheStats() PlanCacheStats { return c.plans.stats() }
 
-/// Close releases client-held server resources: remote prepared-statement
+// Close releases client-held server resources: remote prepared-statement
 // handles acquired by cached plans. The client remains usable (caches
 // refill on demand).
 func (c *Client) Close() error {

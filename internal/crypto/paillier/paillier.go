@@ -17,12 +17,24 @@ import (
 	"sync"
 )
 
-// Key is a Paillier keypair. The public part is (N, G); the private part is
-// (Lambda, Mu).
+// PublicKey is the public half of a Paillier keypair: (N, G) plus the
+// cached N². It supports every operation the untrusted server performs —
+// the homomorphic fold (ProductCipher/AddCipher), constant
+// multiplication, and ciphertext (de)serialization — and nothing that
+// produces plaintext. Per MONOMI's trust model (§3), server-side state
+// (packing.Store, the engine's crypto UDFs) holds a *PublicKey only; the
+// trustflow analyzer (internal/lint) enforces that the full Key never
+// crosses into an untrusted package.
+type PublicKey struct {
+	N  *big.Int // modulus (public)
+	N2 *big.Int // N² (public, cached)
+	G  *big.Int // generator, N+1 (public)
+}
+
+// Key is a Paillier keypair: the embedded public half plus the private
+// decryption exponents (Lambda, Mu). Only the trusted client holds one.
 type Key struct {
-	N       *big.Int // modulus (public)
-	N2      *big.Int // N² (public, cached)
-	G       *big.Int // generator, N+1 (public)
+	PublicKey
 	Lambda  *big.Int // lcm(p-1, q-1) (private)
 	Mu      *big.Int // (L(G^Lambda mod N²))⁻¹ mod N (private)
 	randSrc io.Reader
@@ -30,6 +42,9 @@ type Key struct {
 	pmu  sync.RWMutex
 	pool *Pool // optional precomputed blinding factors (see pool.go)
 }
+
+// Public returns the shareable public half of the keypair.
+func (k *Key) Public() *PublicKey { return &k.PublicKey }
 
 // GenerateKey creates a keypair with an n-bit modulus. The paper uses 1,024
 // bits; tests use smaller moduli for speed.
@@ -70,7 +85,10 @@ func generateKey(src io.Reader, bits int) (*Key, error) {
 		if mu == nil {
 			continue
 		}
-		return &Key{N: n, N2: n2, G: g, Lambda: lambda, Mu: mu, randSrc: src}, nil
+		return &Key{
+			PublicKey: PublicKey{N: n, N2: n2, G: g},
+			Lambda:    lambda, Mu: mu, randSrc: src,
+		}, nil
 	}
 }
 
@@ -81,7 +99,7 @@ func lFunc(u, n *big.Int) *big.Int {
 
 // PlaintextBits returns the usable plaintext width in bits (slightly under
 // the modulus width to avoid wraparound).
-func (k *Key) PlaintextBits() int { return k.N.BitLen() - 2 }
+func (k *PublicKey) PlaintextBits() int { return k.N.BitLen() - 2 }
 
 // Encrypt encrypts m ∈ [0, N).
 func (k *Key) Encrypt(m *big.Int) (*big.Int, error) {
@@ -129,7 +147,7 @@ func (k *Key) Decrypt(c *big.Int) (*big.Int, error) {
 }
 
 // AddCipher homomorphically adds two ciphertexts: E(a+b) = E(a)·E(b) mod N².
-func (k *Key) AddCipher(a, b *big.Int) *big.Int {
+func (k *PublicKey) AddCipher(a, b *big.Int) *big.Int {
 	c := new(big.Int).Mul(a, b)
 	return c.Mod(c, k.N2)
 }
@@ -138,7 +156,7 @@ func (k *Key) AddCipher(a, b *big.Int) *big.Int {
 // E(Σaᵢ) = Πᵢ E(aᵢ) mod N². It reuses one accumulator and one scratch
 // big.Int across the whole batch, unlike repeated AddCipher calls which
 // allocate per multiplication. Returns nil for an empty batch.
-func (k *Key) ProductCipher(cs []*big.Int) *big.Int {
+func (k *PublicKey) ProductCipher(cs []*big.Int) *big.Int {
 	if len(cs) == 0 {
 		return nil
 	}
@@ -153,7 +171,7 @@ func (k *Key) ProductCipher(cs []*big.Int) *big.Int {
 
 // MulConst homomorphically multiplies a ciphertext's plaintext by a
 // constant: E(s·a) = E(a)^s mod N².
-func (k *Key) MulConst(a *big.Int, s *big.Int) *big.Int {
+func (k *PublicKey) MulConst(a *big.Int, s *big.Int) *big.Int {
 	return new(big.Int).Exp(a, s, k.N2)
 }
 
@@ -162,14 +180,14 @@ func (k *Key) MulConst(a *big.Int, s *big.Int) *big.Int {
 func (k *Key) EncryptZero() (*big.Int, error) { return k.Encrypt(big.NewInt(0)) }
 
 // CiphertextSize returns the ciphertext size in bytes (2× modulus).
-func (k *Key) CiphertextSize() int { return (k.N2.BitLen() + 7) / 8 }
+func (k *PublicKey) CiphertextSize() int { return (k.N2.BitLen() + 7) / 8 }
 
 // CiphertextBytes serializes a ciphertext as fixed-width big-endian bytes.
-func (k *Key) CiphertextBytes(c *big.Int) []byte {
+func (k *PublicKey) CiphertextBytes(c *big.Int) []byte {
 	out := make([]byte, k.CiphertextSize())
 	c.FillBytes(out)
 	return out
 }
 
 // CiphertextFromBytes parses a serialized ciphertext.
-func (k *Key) CiphertextFromBytes(b []byte) *big.Int { return new(big.Int).SetBytes(b) }
+func (k *PublicKey) CiphertextFromBytes(b []byte) *big.Int { return new(big.Int).SetBytes(b) }

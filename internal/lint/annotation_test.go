@@ -1,0 +1,112 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+const annotatedFixture = "testdata/trustflow/annotated/fixture.go"
+
+// fixtureLines returns the 1-based line numbers of the justified
+// annotation, the bare annotation, and the field each covers, located by
+// content so the test survives fixture edits.
+func fixtureLines(t *testing.T, src string) (justified, justifiedField, bare, bareField int) {
+	t.Helper()
+	for i, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "//monomi:trusted "):
+			justified, justifiedField = i+1, i+2
+		case trimmed == "//monomi:trusted":
+			bare, bareField = i+1, i+2
+		}
+	}
+	if justified == 0 || bare == 0 {
+		t.Fatalf("fixture is missing an annotation form: justified=%d bare=%d", justified, bare)
+	}
+	return
+}
+
+// TestTrustedAnnotation covers the escape hatch end to end: a justified
+// //monomi:trusted suppresses the findings on the line it covers, while a
+// bare annotation is itself reported and suppresses nothing.
+func TestTrustedAnnotation(t *testing.T) {
+	src, err := os.ReadFile(annotatedFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	justified, justifiedField, bare, bareField := fixtureLines(t, string(src))
+
+	pkg := linttest.Load(t, filepath.Dir(annotatedFixture), "repro/internal/engine/lintfixture")
+	diags, err := lint.Analyze(pkg, []*lint.Analyzer{lint.Trustflow})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The justified exception passes: nothing on its annotation or field
+	// line.
+	for _, d := range diags {
+		if d.Pos.Line == justified || d.Pos.Line == justifiedField {
+			t.Errorf("justified annotation did not suppress:\n  %s", d)
+		}
+	}
+	// The missing justification is rejected...
+	linttest.MustFindAt(t, diags, "annotation", "fixture.go", bare)
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "annotation" && strings.Contains(d.Message, "requires a justification") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 'requires a justification' diagnostic for the bare annotation")
+	}
+	// ...and does not suppress the underlying findings.
+	linttest.MustFindAt(t, diags, "trustflow", "fixture.go", bareField)
+}
+
+// TestTrustedAnnotationRemoved rewrites the fixture without its justified
+// annotation and re-analyzes: the previously suppressed findings must
+// reappear — the escape hatch is load-bearing, not decorative.
+func TestTrustedAnnotationRemoved(t *testing.T) {
+	src, err := os.ReadFile(annotatedFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "//monomi:trusted ") {
+			continue // strip only the justified form
+		}
+		kept = append(kept, line)
+	}
+	stripped := strings.Join(kept, "\n")
+	path := filepath.Join(t.TempDir(), "fixture.go")
+	if err := os.WriteFile(path, []byte(stripped), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Locate the first key field (testRig's) in the stripped source.
+	fieldLine := 0
+	for i, line := range kept {
+		if strings.Contains(line, "key *paillier.Key") {
+			fieldLine = i + 1
+			break
+		}
+	}
+	if fieldLine == 0 {
+		t.Fatal("stripped fixture lost its key field")
+	}
+
+	pkg := linttest.LoadGoFiles(t, "repro/internal/engine/lintfixture", path)
+	diags, err := lint.Analyze(pkg, []*lint.Analyzer{lint.Trustflow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linttest.MustFindAt(t, diags, "trustflow", "fixture.go", fieldLine)
+}

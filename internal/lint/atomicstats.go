@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicstats guards the stats-accounting concurrency contract of the
+// sharded executors. engine.Stats and server.StreamStats are plain-int
+// accumulators by design: the documented single-writer discipline (PR 5)
+// says shard workers accumulate into their own private Stats and a single
+// merger folds deltas via Stats.Add/Sub — workers never write a shared
+// Stats directly, and the few genuinely shared counters (the UDF timing
+// the server folds from inside worker-invoked callbacks) use sync/atomic.
+//
+// The analyzer enforces the discipline mechanically: inside the engine
+// and server subtrees, a direct write (assignment, compound assignment,
+// ++/--) to a field of a Stats/StreamStats value that was CAPTURED from
+// an enclosing scope by a go-spawned function literal is reported — that
+// is exactly the shape of the data race PR 5 had to fix by hand. Writes
+// to worker-local stats (declared or received as a parameter inside the
+// goroutine) and merges through methods remain free.
+var Atomicstats = &Analyzer{
+	Name: "atomicstats",
+	Doc:  "go-spawned workers must not write captured engine.Stats/server.StreamStats fields non-atomically",
+	Run:  runAtomicstats,
+}
+
+// atomicstatsPackages are the subtrees whose goroutines the check covers.
+var atomicstatsPackages = []string{
+	"repro/internal/engine",
+	"repro/internal/server",
+}
+
+// statsTypeNames are the monitored accumulator struct names.
+var statsTypeNames = map[string]bool{"Stats": true, "StreamStats": true}
+
+// isStatsType reports whether t (possibly behind pointers) is one of the
+// monitored accumulator types from the engine/server subtrees.
+func isStatsType(t types.Type) bool {
+	tn := typeName(t)
+	if tn == nil || tn.Pkg() == nil || !statsTypeNames[tn.Name()] {
+		return false
+	}
+	for _, p := range atomicstatsPackages {
+		if pathHasPrefix(tn.Pkg().Path(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicstats(pass *Pass) error {
+	inScope := false
+	for _, p := range atomicstatsPackages {
+		if pathHasPrefix(pass.Pkg.Path(), p) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Collect the function literals this file spawns with `go`,
+		// either directly (go func(){...}()) or through a variable
+		// assigned a literal in the same file (fn := func(){...}; go fn()).
+		spawned := map[*ast.FuncLit]bool{}
+		litOfVar := map[types.Object]*ast.FuncLit{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for i, rhs := range as.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(as.Lhs) {
+						continue
+					}
+					if id, ok := as.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							litOfVar[obj] = lit
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							litOfVar[obj] = lit
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				spawned[fun] = true
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+					if lit := litOfVar[obj]; lit != nil {
+						spawned[lit] = true
+					}
+				}
+			}
+			return true
+		})
+		for lit := range spawned {
+			checkSpawnedStatsWrites(pass, lit)
+		}
+	}
+	return nil
+}
+
+// checkSpawnedStatsWrites reports non-atomic writes to captured
+// Stats/StreamStats fields anywhere inside a go-spawned literal
+// (including its nested literals — they run on the same goroutine or a
+// descendant of it).
+func checkSpawnedStatsWrites(pass *Pass, lit *ast.FuncLit) {
+	report := func(sel *ast.SelectorExpr, how string) {
+		pass.Reportf(sel.Pos(),
+			"%s of %s field %s captured by a go-spawned worker; use sync/atomic or accumulate into a worker-local Stats and merge via Add (single-writer rule, PR 5)",
+			how, types.TypeString(derefType(pass.TypesInfo.Types[sel.X].Type), relativeTo(pass.Pkg)), sel.Sel.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel := capturedStatsField(pass, lit, lhs); sel != nil {
+					how := "assignment"
+					if n.Tok.String() != "=" {
+						how = "compound assignment"
+					}
+					report(sel, how)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel := capturedStatsField(pass, lit, n.X); sel != nil {
+				report(sel, "increment/decrement")
+			}
+		}
+		return true
+	})
+}
+
+// capturedStatsField reports whether expr writes a field of a monitored
+// stats struct whose root variable is captured from outside lit. Returns
+// the field selector when it does.
+func capturedStatsField(pass *Pass, lit *ast.FuncLit, expr ast.Expr) *ast.SelectorExpr {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isStatsType(tv.Type) {
+		return nil
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return nil // rooted in a call/index expression: not a shared variable
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+		return nil // declared inside the literal (worker-local or parameter)
+	}
+	return sel
+}
+
+// rootIdent walks to the base identifier of a selector/star chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// derefType unwraps pointers.
+func derefType(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// relativeTo qualifies type names relative to pkg (its own types print
+// bare).
+func relativeTo(pkg *types.Package) types.Qualifier {
+	return func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return other.Name()
+	}
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestAtomicstatsViolations checks that direct writes to captured
+// engine.Stats fields inside go-spawned literals are reported — including
+// literals spawned through a variable — while worker-local accumulation,
+// sync/atomic updates, and Add-method merges stay clean.
+func TestAtomicstatsViolations(t *testing.T) {
+	diags := linttest.Run(t, "testdata/atomicstats/violations", "repro/internal/engine/lintfixture", lint.Atomicstats)
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, fixture plants 4", len(diags))
+	}
+}

@@ -1,0 +1,214 @@
+// Package linttest runs internal/lint analyzers over testdata fixture
+// packages, in the style of golang.org/x/tools/go/analysis/analysistest:
+// fixture files carry `// want "regexp"` comments on the lines where a
+// diagnostic is expected, and the runner fails the test on any unmatched
+// expectation or unexpected diagnostic.
+//
+// Fixtures are plain Go files under testdata/ (which the go tool never
+// builds), type-checked against the real module: a fixture may import
+// repro/internal/enc, repro/internal/crypto/paillier, etc., and is
+// compiled *as if* it lived at any import path the test chooses — which
+// is how trustflow fixtures place themselves inside the untrusted
+// subtree (e.g. "repro/internal/engine/lintfixture") without polluting
+// the real packages.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// moduleExports caches the module-wide export map across tests; `go list
+// -export ./...` is the slow step and its result is identical for every
+// fixture.
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// exports returns the cached module export map.
+func exports(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		exportsMap, exportsErr = lint.ModuleExports(moduleRoot(t))
+	})
+	if exportsErr != nil {
+		t.Fatal(exportsErr)
+	}
+	return exportsMap
+}
+
+// Load type-checks the fixture directory as one package rooted at
+// asImportPath and returns it. Fails the test on load errors.
+func Load(t *testing.T, fixtureDir, asImportPath string) *lint.Package {
+	t.Helper()
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(fixtureDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", fixtureDir)
+	}
+	sort.Strings(files)
+	pkg, err := lint.LoadFiles(asImportPath, files, exports(t))
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	if pkg == nil {
+		t.Fatalf("linttest: %s produced no package", fixtureDir)
+	}
+	return pkg
+}
+
+// LoadGoFiles type-checks an explicit list of Go files (possibly outside
+// testdata, e.g. in a t.TempDir) as one package at asImportPath. Used by
+// tests that rewrite a fixture — say, stripping its //monomi:trusted
+// annotation — and re-analyze the result.
+func LoadGoFiles(t *testing.T, asImportPath string, files ...string) *lint.Package {
+	t.Helper()
+	pkg, err := lint.LoadFiles(asImportPath, files, exports(t))
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	if pkg == nil {
+		t.Fatalf("linttest: %v produced no package", files)
+	}
+	return pkg
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var (
+	// wantRE finds a want comment; one comment may carry several
+	// space-separated patterns, each backquoted or double-quoted.
+	wantRE    = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	wantPatRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+)
+
+// parseWants extracts expectations from the fixture's comments.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pats := wantPatRE.FindAllString(m[1], -1)
+				if len(pats) == 0 {
+					t.Fatalf("linttest: want comment with no quoted pattern: %s", c.Text)
+				}
+				for _, quoted := range pats {
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						t.Fatalf("linttest: bad want pattern %s: %v", quoted, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: bad want regexp %q: %v", pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Run loads the fixture as asImportPath, runs the analyzer, and checks
+// every diagnostic against the fixture's `// want` expectations — each
+// expectation must match exactly one diagnostic on its line and vice
+// versa. It returns the surviving diagnostics for extra assertions.
+func Run(t *testing.T, fixtureDir, asImportPath string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	pkg := Load(t, fixtureDir, asImportPath)
+	diags, err := lint.Analyze(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) || w.re.MatchString("["+d.Analyzer+"] "+d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic matched want %q at %s:%d", w.raw, w.file, w.line)
+		}
+	}
+	return diags
+}
+
+// MustFindAt asserts that some diagnostic of the given analyzer lands on
+// file:line (basename match), for tests that assert positions directly.
+func MustFindAt(t *testing.T, diags []lint.Diagnostic, analyzer, file string, line int) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Analyzer == analyzer && filepath.Base(d.Pos.Filename) == file && d.Pos.Line == line {
+			return
+		}
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	t.Errorf("no %s diagnostic at %s:%d; got:\n  %s", analyzer, file, line, strings.Join(got, "\n  "))
+}

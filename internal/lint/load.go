@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked target ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// exportLookup builds a go/importer lookup function over a package-path →
+// export-file map (from `go list -export` or a vet.cfg PackageFile map).
+// importMap translates source-spelling import paths (vendoring, test
+// variants) to canonical ones; nil means identity.
+func exportLookup(exports, importMap map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for import %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// typeCheck parses and checks one package's files under the given
+// importer lookup. Test files (*_test.go) are skipped: the differential
+// and transport test harnesses deliberately run both sides of the trust
+// boundary in one process, so the boundary checks apply to shipped code.
+func typeCheck(fset *token.FileSet, importPath, dir string, goFiles []string, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	var files []*ast.File
+	for _, g := range goFiles {
+		if strings.HasSuffix(g, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(g) {
+			g = filepath.Join(dir, g)
+		}
+		f, err := parser.ParseFile(fset, g, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", g, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// goList runs `go list -export -deps -json` for the patterns and returns
+// the decoded packages.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads and type-checks the packages matching the go list
+// patterns, rooted at dir (the module directory). Compilation happens via
+// the go command; types of dependencies come from its export data, so a
+// load is roughly as fast as `go vet`.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	lookup := exportLookup(exports, nil)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		pkg, err := typeCheck(fset, p.ImportPath, p.Dir, p.GoFiles, lookup)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// ModuleExports loads the export-data map for every package of the module
+// at dir plus its dependencies, for type-checking out-of-tree fixture
+// files that import module packages (see linttest).
+func ModuleExports(dir string) (map[string]string, error) {
+	listed, err := goList(dir, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// LoadFiles type-checks a set of Go files as one package with the given
+// import path, resolving imports through the provided export map. Used by
+// linttest to compile testdata fixtures as if they lived at an arbitrary
+// point of the package tree (e.g. inside an untrusted package).
+func LoadFiles(asImportPath string, goFiles []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	abs := make([]string, len(goFiles))
+	for i, g := range goFiles {
+		a, err := filepath.Abs(g)
+		if err != nil {
+			return nil, fmt.Errorf("lint: resolving %s: %w", g, err)
+		}
+		abs[i] = a
+	}
+	dir := ""
+	if len(abs) > 0 {
+		dir = filepath.Dir(abs[0])
+	}
+	return typeCheck(fset, asImportPath, dir, abs, exportLookup(exports, nil))
+}
+
+// VetConfig is the per-package configuration cmd/go writes for a vet tool
+// (see $GOROOT/src/cmd/go/internal/work/exec.go, type vetConfig). Fields
+// the suite does not need are omitted; unknown JSON keys are ignored.
+type VetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// LoadVetConfig loads the single package described by a cmd/go vet.cfg
+// file — the `go vet -vettool=monomi-lint` entry point. Returns (nil,
+// nil, nil) for packages with nothing to analyze (e.g. pure test
+// variants, or VetxOnly dependency passes).
+func LoadVetConfig(cfgPath string) (*Package, *VetConfig, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: reading vet config: %w", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("lint: parsing vet config %s: %w", cfgPath, err)
+	}
+	if cfg.VetxOnly {
+		return nil, &cfg, nil
+	}
+	fset := token.NewFileSet()
+	pkg, err := typeCheck(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, exportLookup(cfg.PackageFile, cfg.ImportMap))
+	if err != nil {
+		return nil, &cfg, err
+	}
+	return pkg, &cfg, nil
+}

@@ -1,0 +1,67 @@
+// Package fixture plants stats-accounting races: direct writes from
+// go-spawned workers to a captured engine.Stats, the exact shape PR 5's
+// single-writer rule bans. The test loads it as
+// repro/internal/engine/lintfixture, inside the atomicstats scope.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// sharedDirect is the canonical race: a worker writes the coordinator's
+// Stats directly.
+func sharedDirect() {
+	var shared engine.Stats
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		shared.RowsScanned++       // want `increment/decrement of engine.Stats field RowsScanned captured by a go-spawned worker`
+		shared.BytesScanned += 128 // want `compound assignment of engine.Stats field BytesScanned captured by a go-spawned worker`
+		shared.RowsOut = 1         // want `assignment of engine.Stats field RowsOut captured by a go-spawned worker`
+	}()
+	wg.Wait()
+}
+
+// viaVariable spawns through an intermediate variable; the analyzer
+// follows fn := func(){...}; go fn().
+func viaVariable(shared *engine.Stats) {
+	fn := func() {
+		shared.UDFNanos += 7 // want `compound assignment of engine.Stats field UDFNanos captured by a go-spawned worker`
+	}
+	go fn()
+}
+
+// workerLocal is the sanctioned pattern: accumulate into a private Stats
+// declared inside the goroutine, hand the delta to the single merger.
+func workerLocal(merge chan<- engine.Stats) {
+	go func() {
+		var local engine.Stats
+		local.RowsScanned++
+		local.BytesScanned += 64
+		merge <- local
+	}()
+}
+
+// atomicShared updates a genuinely shared counter through sync/atomic —
+// the discipline the server's UDF timing uses.
+func atomicShared(shared *engine.Stats) {
+	go func() {
+		atomic.AddInt64(&shared.UDFNanos, 5)
+	}()
+}
+
+// mergeViaAdd merges a worker-local delta through the Stats.Add method;
+// method calls are the documented merge path, not direct field writes.
+func mergeViaAdd(shared *engine.Stats, mu *sync.Mutex) {
+	go func() {
+		var local engine.Stats
+		local.RowsOut++
+		mu.Lock()
+		defer mu.Unlock()
+		shared.Add(local)
+	}()
+}

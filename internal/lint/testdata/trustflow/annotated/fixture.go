@@ -1,0 +1,25 @@
+// Package fixture exercises the //monomi:trusted escape hatch. The test
+// loads it as an untrusted package path; assertions live in
+// annotation_test.go rather than in expectation comments here, because
+// the annotation marker is itself a line comment and cannot share its
+// line with another comment.
+package fixture
+
+import (
+	"repro/internal/crypto/paillier"
+)
+
+// testRig stands in for the in-process trusted-client half of a test
+// harness: a justified annotation keeps the analyzer quiet on the field.
+type testRig struct {
+	//monomi:trusted in-process trusted-client rig for differential tests; the key never serializes
+	key *paillier.Key
+}
+
+// badRig carries the annotation without a justification: the exception is
+// rejected (reported by the "annotation" pseudo-analyzer) and the
+// underlying trustflow findings still fire.
+type badRig struct {
+	//monomi:trusted
+	key *paillier.Key
+}

@@ -1,0 +1,44 @@
+// Package fixture plants deliberate trust-boundary violations. The test
+// loads it AS an untrusted package path (repro/internal/engine/lintfixture),
+// so every reference below must be reported.
+package fixture
+
+import (
+	"repro/internal/crypto/paillier"
+	"repro/internal/crypto/prf" // want `imports keyed crypto package repro/internal/crypto/prf`
+	"repro/internal/enc"
+	"repro/internal/packing"
+)
+
+// serverState smuggles the private key inside a struct, the shape the
+// pre-PR-10 packing.Store had.
+type serverState struct {
+	key *paillier.Key // want `references trusted-only symbol repro/internal/crypto/paillier.Key` `transitively contains trusted-only type repro/internal/crypto/paillier.Key`
+}
+
+// holder leaks transitively: no banned identifier is spelled here, only a
+// type that contains one.
+type holder struct {
+	inner serverState // want `transitively contains trusted-only type repro/internal/crypto/paillier.Key`
+}
+
+// useKeyStore references the keystore type and constructor directly.
+func useKeyStore(master []byte) error {
+	ks, err := enc.NewKeyStore(master, 256) // want `references trusted-only symbol repro/internal/enc.NewKeyStore` `holds a value of type \*repro/internal/enc.KeyStore`
+	if err != nil {
+		return err
+	}
+	_ = ks
+	return nil
+}
+
+// deriveKey uses the master-key derivation helper.
+func deriveKey(master []byte) []byte {
+	return prf.DeriveKey(master, "label") // want `references trusted-only symbol repro/internal/crypto/prf.DeriveKey`
+}
+
+// clientFinish performs a client-side decryption step on the server.
+func clientFinish(key *paillier.Key, layout packing.Layout, res *packing.SumResult) { // want `references trusted-only symbol repro/internal/crypto/paillier.Key` `holds a value of type \*repro/internal/crypto/paillier.Key`
+	sums, n, err := packing.ClientSums(key, layout, res, nil) // want `references trusted-only symbol repro/internal/packing.ClientSums`
+	_, _, _ = sums, n, err
+}

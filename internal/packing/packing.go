@@ -145,19 +145,26 @@ func (l *Layout) ColumnSums(m *big.Int) []int64 {
 }
 
 // Store is one column-group's ciphertext file: packed Paillier ciphertexts
-// addressed by row_id.
+// addressed by row_id. The Store lives on the untrusted server (it is the
+// paper's §7 "ciphertext file"), so it carries only the public half of
+// the keypair — enough for the homomorphic fold and for size accounting,
+// never enough to decrypt. The trustflow analyzer (internal/lint) keys on
+// this: a Store that embedded the full *paillier.Key would poison every
+// server-side struct that holds one.
 type Store struct {
 	Name    string
-	Key     *paillier.Key
+	Key     *paillier.PublicKey
 	Layout  Layout
 	Ciphers []*big.Int
 	NumRows int
 }
 
 // BuildStore packs and encrypts all rows of a column group. rows[i] holds
-// the plaintext values for row_id i, one per layout column.
+// the plaintext values for row_id i, one per layout column. Encryption
+// happens on the trusted side (the caller holds the full key); the
+// returned Store retains only the public half.
 func BuildStore(name string, key *paillier.Key, layout Layout, rows [][]int64) (*Store, error) {
-	s := &Store{Name: name, Key: key, Layout: layout, NumRows: len(rows)}
+	s := &Store{Name: name, Key: key.Public(), Layout: layout, NumRows: len(rows)}
 	for start := 0; start < len(rows); start += layout.RowsPerCipher {
 		end := start + layout.RowsPerCipher
 		if end > len(rows) {

@@ -67,7 +67,7 @@ type diskStore struct {
 type pageMeta struct {
 	off     int64
 	physLen int64
-	first   int   // row id of the page's first row
+	first   int // row id of the page's first row
 	nrows   int
 }
 

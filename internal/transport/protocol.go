@@ -307,7 +307,7 @@ func decodeParams(p []byte) (params map[string]value.Value, rest []byte, err err
 		p = p[ln:]
 		v, n, err := wire.DecodeValue(p)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bad parameter value: %s", err)
+			return nil, nil, fmt.Errorf("bad parameter value: %w", err)
 		}
 		if v.K == value.Bytes {
 			v.B = append([]byte(nil), v.B...)

@@ -17,8 +17,8 @@ import (
 // repShape is a parameterized query plus its ad-hoc textual form and the
 // i-th parameter binding.
 type repShape struct {
-	sql     string              // parameterized (prepared-statement) form
-	adhoc   func(i int) string  // same query with the i-th literals inline
+	sql     string             // parameterized (prepared-statement) form
+	adhoc   func(i int) string // same query with the i-th literals inline
 	params  func(i int) map[string]any
 	ordered bool
 }
